@@ -1,0 +1,87 @@
+// Ablation A (paper section 3.4.2, last paragraph): "In large basic
+// blocks, this code can be included into the basic block making the
+// subroutine call unnecessary and the parallel execution of the cache
+// calculation code and the executed program possible."
+//
+// Sweeps the inline threshold at the cache detail level: 0 = always call
+// the generated routine, 1 = always inline, k = inline only in blocks
+// with >= k source instructions. Reports VLIW cycles (speed) and code
+// size (the cost of inlining), with the generated cycle count asserted
+// identical across configurations.
+#include "bench_common.h"
+
+namespace cabt::bench {
+namespace {
+
+struct Config {
+  uint32_t threshold;
+  const char* label;
+};
+
+const Config kConfigs[] = {
+    {0, "call-always"},
+    {8, "inline-large-blocks"},
+    {1, "inline-always"},
+};
+
+}  // namespace
+}  // namespace cabt::bench
+
+int main(int argc, char** argv) {
+  using namespace cabt::bench;
+  printHeader("Ablation: cache-correction routine call vs. inline",
+              "the design choice of section 3.4.2");
+  const cabt::arch::ArchDescription desc = defaultArch();
+  std::printf("%-10s %-20s %14s %14s %12s\n", "workload", "config",
+              "vliw cycles", "generated", "code bytes");
+  for (const std::string& name : cabt::workloads::figure5Names()) {
+    const cabt::elf::Object obj =
+        cabt::workloads::assemble(cabt::workloads::get(name));
+    uint64_t generated_ref = 0;
+    for (const Config& cfg : kConfigs) {
+      cabt::xlat::TranslateOptions extra;
+      extra.inline_cache_threshold = cfg.threshold;
+      const VariantRun run = runVariant(
+          desc, obj, cabt::xlat::DetailLevel::kICache, {}, extra);
+      if (generated_ref == 0) {
+        generated_ref = run.generated_cycles;
+      } else if (run.generated_cycles != generated_ref) {
+        throw cabt::Error("inlining changed the generated cycle count");
+      }
+      std::printf("%-10s %-20s %14llu %14llu %12llu\n", name.c_str(),
+                  cfg.label,
+                  static_cast<unsigned long long>(run.vliw_cycles),
+                  static_cast<unsigned long long>(run.generated_cycles),
+                  static_cast<unsigned long long>(run.code_bytes));
+    }
+  }
+  std::printf("\n(inlining removes the call/return delay slots per cache "
+              "analysis block at the price of code size)\n");
+
+  benchmark::Initialize(&argc, argv);
+  for (const Config& cfg : kConfigs) {
+    const uint32_t threshold = cfg.threshold;
+    benchmark::RegisterBenchmark(
+        (std::string("ablation_cache_inline/") + cfg.label).c_str(),
+        [threshold](benchmark::State& state) {
+          const auto desc = defaultArch();
+          const auto obj =
+              cabt::workloads::assemble(cabt::workloads::get("sieve"));
+          VariantRun run;
+          for (auto _ : state) {
+            cabt::xlat::TranslateOptions extra;
+            extra.inline_cache_threshold = threshold;
+            run = runVariant(desc, obj, cabt::xlat::DetailLevel::kICache,
+                             {}, extra);
+          }
+          state.counters["vliw_cycles"] =
+              static_cast<double>(run.vliw_cycles);
+          state.counters["code_bytes"] =
+              static_cast<double>(run.code_bytes);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

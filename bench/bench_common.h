@@ -1,0 +1,143 @@
+// Shared infrastructure for the experiment harnesses. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md section 4):
+// it runs the reference board and the translated variants, prints the
+// paper-style table (and an ASCII rendition of figures), and registers
+// one google-benchmark per row so host-time measurements and modeled
+// counters appear in the standard benchmark output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "iss/iss.h"
+#include "platform/platform.h"
+#include "workloads/workloads.h"
+#include "xlat/translator.h"
+
+namespace cabt::bench {
+
+/// Clock rates of the modelled platforms (paper section 4).
+constexpr double kBoardHz = 48e6;   // TriCore evaluation board
+constexpr double kVliwHz = 200e6;   // C6x on the emulation system
+constexpr double kFpgaHz = 8e6;     // XCV2000E emulation (Table 2)
+
+struct BoardRun {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(cycles) / kBoardHz;
+  }
+  [[nodiscard]] double mips() const {
+    return static_cast<double>(instructions) / seconds() / 1e6;
+  }
+};
+
+struct VariantRun {
+  uint64_t vliw_cycles = 0;
+  uint64_t generated_cycles = 0;
+  uint64_t sync_stalls = 0;
+  uint64_t correction_cycles = 0;
+  uint64_t code_bytes = 0;
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(vliw_cycles) / kVliwHz;
+  }
+  [[nodiscard]] double mips(uint64_t instructions) const {
+    return static_cast<double>(instructions) / seconds() / 1e6;
+  }
+  [[nodiscard]] double cpi(uint64_t instructions) const {
+    return static_cast<double>(vliw_cycles) /
+           static_cast<double>(instructions);
+  }
+};
+
+inline arch::ArchDescription defaultArch() {
+  return arch::ArchDescription::defaultTc10gp();
+}
+
+inline BoardRun runBoard(const arch::ArchDescription& desc,
+                         const elf::Object& obj) {
+  iss::Iss ref(desc, obj);
+  if (ref.run() != iss::StopReason::kHalted) {
+    throw Error("reference run did not halt");
+  }
+  return {ref.stats().instructions, ref.stats().cycles};
+}
+
+inline VariantRun runVariant(const arch::ArchDescription& desc,
+                             const elf::Object& obj,
+                             xlat::DetailLevel level,
+                             platform::PlatformConfig cfg = {},
+                             xlat::TranslateOptions extra = {}) {
+  xlat::TranslateOptions opts = extra;
+  opts.level = level;
+  const xlat::TranslationResult t = xlat::translate(desc, obj, opts);
+  platform::EmulationPlatform plat(desc, t.image, cfg);
+  const platform::RunResult run = plat.run();
+  if (run.state != vliw::RunState::kHalted) {
+    throw Error("translated run did not halt");
+  }
+  return {run.vliw_cycles, run.generated_cycles, run.sync_stall_cycles,
+          run.correction_cycles, t.stats.code_bytes};
+}
+
+/// All four translation variants of Figure 5 / Table 1, in paper order.
+inline const std::vector<xlat::DetailLevel>& allLevels() {
+  static const std::vector<xlat::DetailLevel> levels = {
+      xlat::DetailLevel::kFunctional, xlat::DetailLevel::kStatic,
+      xlat::DetailLevel::kBranchPredict, xlat::DetailLevel::kICache};
+  return levels;
+}
+
+inline const char* variantLabel(xlat::DetailLevel level) {
+  switch (level) {
+    case xlat::DetailLevel::kFunctional:
+      return "C6x w/o cycle inf.";
+    case xlat::DetailLevel::kStatic:
+      return "C6x with cycle inf.";
+    case xlat::DetailLevel::kBranchPredict:
+      return "C6x branch pred.";
+    case xlat::DetailLevel::kICache:
+      return "C6x cache";
+  }
+  return "?";
+}
+
+/// Prints a horizontal ASCII bar (for the "figure" reproductions).
+inline void printBar(const char* label, double value, double max_value,
+                     const char* unit) {
+  const int width = 50;
+  const int n = max_value > 0
+                    ? static_cast<int>(value / max_value * width + 0.5)
+                    : 0;
+  std::printf("  %-22s %8.2f %-6s |", label, value, unit);
+  for (int i = 0; i < n; ++i) {
+    std::printf("#");
+  }
+  std::printf("\n");
+}
+
+inline void printHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s of Schnerr et al., DATE 2005)\n", title,
+              paper_ref);
+  std::printf("================================================================\n");
+}
+
+/// Pretty time with automatic unit, as in Table 2.
+inline std::string humanTime(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f usec", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f msec", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f sec", seconds);
+  }
+  return buf;
+}
+
+}  // namespace cabt::bench

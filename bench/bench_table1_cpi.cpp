@@ -1,0 +1,88 @@
+// Table 1 reproduction: average clock cycles per executed TriCore
+// instruction — the board itself, then the four translated variants
+// (average over the six Figure-5 examples, as in the paper).
+//
+// Paper values for orientation: board 1.08; C6x without cycle information
+// 2.94; with cycle information 4.28; branch prediction 5.87; caches
+// 35.34. We reproduce the ordering and the rough factors (the absolute
+// values depend on the exact ISA pair).
+#include "bench_common.h"
+
+namespace cabt::bench {
+namespace {
+
+struct Averages {
+  double board = 0;
+  std::vector<double> variants;
+};
+
+Averages collect() {
+  const arch::ArchDescription desc = defaultArch();
+  Averages avg;
+  avg.variants.assign(allLevels().size(), 0.0);
+  const auto names = workloads::figure5Names();
+  for (const std::string& name : names) {
+    const elf::Object obj = workloads::assemble(workloads::get(name));
+    const BoardRun board = runBoard(desc, obj);
+    avg.board += static_cast<double>(board.cycles) /
+                 static_cast<double>(board.instructions);
+    for (size_t v = 0; v < allLevels().size(); ++v) {
+      const VariantRun run = runVariant(desc, obj, allLevels()[v]);
+      avg.variants[v] += run.cpi(board.instructions);
+    }
+  }
+  avg.board /= static_cast<double>(names.size());
+  for (double& v : avg.variants) {
+    v /= static_cast<double>(names.size());
+  }
+  return avg;
+}
+
+void printTable(const Averages& avg) {
+  printHeader("Clock cycles per TriCore instruction", "Table 1");
+  std::printf("%-28s %10s %10s\n", "", "this repo", "paper");
+  const double paper[] = {2.94, 4.28, 5.87, 35.34};
+  std::printf("%-28s %10.2f %10.2f\n", "TC10GP Evaluation Board", avg.board,
+              1.08);
+  for (size_t v = 0; v < allLevels().size(); ++v) {
+    std::printf("%-28s %10.2f %10.2f\n", variantLabel(allLevels()[v]),
+                avg.variants[v], paper[v]);
+  }
+  std::printf("\nshape checks: cycle info adds %.2f cycles/instr "
+              "(paper: +1.34); cache level is %.1fx the branch-pred level "
+              "(paper: 6.0x)\n",
+              avg.variants[1] - avg.variants[0],
+              avg.variants[3] / avg.variants[2]);
+}
+
+}  // namespace
+}  // namespace cabt::bench
+
+int main(int argc, char** argv) {
+  using namespace cabt::bench;
+  const Averages avg = collect();
+  printTable(avg);
+
+  benchmark::Initialize(&argc, argv);
+  for (size_t v = 0; v < allLevels().size(); ++v) {
+    const cabt::xlat::DetailLevel level = allLevels()[v];
+    const double cpi = avg.variants[v];
+    const std::string name =
+        std::string("table1/cpi/") + cabt::xlat::detailLevelName(level);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [level, cpi](benchmark::State& state) {
+          const auto desc = defaultArch();
+          for (auto _ : state) {
+            const auto obj =
+                cabt::workloads::assemble(cabt::workloads::get("gcd"));
+            benchmark::DoNotOptimize(runVariant(desc, obj, level));
+          }
+          state.counters["avg_cpi"] = cpi;
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Table 2 reproduction: software runtime comparison for gcd, fibonacci
+// and sieve across four execution vehicles:
+//   * RT-level simulation on a workstation (our cycle-driven RTL model,
+//     host wall-clock time — the paper's "Simulation (Workstation)"),
+//   * FPGA emulation at 8 MHz (modelled: reference cycles / 8 MHz),
+//   * the translation at the three annotated detail levels (modelled:
+//     VLIW cycles / 200 MHz).
+//
+// Paper claims this regenerates: the cache detail level lands in the same
+// range as the FPGA emulation; the two cheaper levels are one to two
+// orders of magnitude faster; the RT-level simulation is many orders of
+// magnitude slower than everything else.
+#include <chrono>
+
+#include "bench_common.h"
+#include "rtlsim/rtlsim.h"
+
+namespace cabt::bench {
+namespace {
+
+struct Row {
+  std::string workload;
+  uint64_t instructions = 0;
+  double rtl_host_seconds = 0;
+  double fpga_seconds = 0;
+  double xlat_seconds[3] = {0, 0, 0};  // cycle info / branch pred / cache
+};
+
+Row collectRow(const std::string& name) {
+  const arch::ArchDescription desc = defaultArch();
+  const elf::Object obj = workloads::assemble(workloads::get(name));
+  Row row;
+  row.workload = name;
+  const BoardRun board = runBoard(desc, obj);
+  row.instructions = board.instructions;
+  row.fpga_seconds = static_cast<double>(board.cycles) / kFpgaHz;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  rtlsim::RtlCore rtl(desc, obj);
+  rtl.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  row.rtl_host_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (rtl.stats().cycles != board.cycles) {
+    throw Error("RTL model diverged from the reference");
+  }
+
+  const xlat::DetailLevel levels[3] = {xlat::DetailLevel::kStatic,
+                                       xlat::DetailLevel::kBranchPredict,
+                                       xlat::DetailLevel::kICache};
+  for (int i = 0; i < 3; ++i) {
+    row.xlat_seconds[i] = runVariant(desc, obj, levels[i]).seconds();
+  }
+  return row;
+}
+
+void printTable(const std::vector<Row>& rows) {
+  printHeader("Software runtime comparison", "Table 2");
+  std::printf("%-28s", "");
+  for (const Row& r : rows) {
+    std::printf(" %14s", r.workload.c_str());
+  }
+  std::printf("\n%-28s", "# of executed instructions");
+  for (const Row& r : rows) {
+    std::printf(" %14llu", static_cast<unsigned long long>(r.instructions));
+  }
+  std::printf("\n%-28s", "Simulation (Workstation)");
+  for (const Row& r : rows) {
+    std::printf(" %14s", humanTime(r.rtl_host_seconds).c_str());
+  }
+  std::printf("\n%-28s", "Emulation (FPGA, 8 MHz)");
+  for (const Row& r : rows) {
+    std::printf(" %14s", humanTime(r.fpga_seconds).c_str());
+  }
+  const char* labels[3] = {"Translation C6x cycle", "Translation C6x branch",
+                           "Translation C6x cache"};
+  for (int i = 0; i < 3; ++i) {
+    std::printf("\n%-28s", labels[i]);
+    for (const Row& r : rows) {
+      std::printf(" %14s", humanTime(r.xlat_seconds[i]).c_str());
+    }
+  }
+  std::printf("\n\nspeed-ups vs FPGA emulation (paper: cycle/branch levels "
+              "3x..42x faster, cache level in the same range):\n");
+  for (const Row& r : rows) {
+    std::printf("  %-10s cycle %6.1fx  branch %6.1fx  cache %6.1fx\n",
+                r.workload.c_str(), r.fpga_seconds / r.xlat_seconds[0],
+                r.fpga_seconds / r.xlat_seconds[1],
+                r.fpga_seconds / r.xlat_seconds[2]);
+  }
+}
+
+}  // namespace
+}  // namespace cabt::bench
+
+int main(int argc, char** argv) {
+  using namespace cabt::bench;
+  std::vector<Row> rows;
+  for (const std::string& name : cabt::workloads::table2Names()) {
+    rows.push_back(collectRow(name));
+  }
+  printTable(rows);
+
+  // Host-time benchmarks: the RT-level model vs. the translated execution
+  // on this machine (the "simulation acceleration" the title promises).
+  benchmark::Initialize(&argc, argv);
+  for (const Row& row : rows) {
+    const std::string workload = row.workload;
+    benchmark::RegisterBenchmark(
+        ("table2/rtlsim_host/" + workload).c_str(),
+        [workload](benchmark::State& state) {
+          const auto desc = defaultArch();
+          const auto obj =
+              cabt::workloads::assemble(cabt::workloads::get(workload));
+          for (auto _ : state) {
+            cabt::rtlsim::RtlCore rtl(desc, obj);
+            rtl.run();
+            benchmark::DoNotOptimize(rtl.stats().cycles);
+          }
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+    benchmark::RegisterBenchmark(
+        ("table2/translated_host/" + workload).c_str(),
+        [workload](benchmark::State& state) {
+          const auto desc = defaultArch();
+          const auto obj =
+              cabt::workloads::assemble(cabt::workloads::get(workload));
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(
+                runVariant(desc, obj, cabt::xlat::DetailLevel::kICache));
+          }
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

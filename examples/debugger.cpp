@@ -1,0 +1,64 @@
+// Debugging translated code (paper section 3.5): a scripted debug session
+// over the dual translation - breakpoints at block starts, automatic
+// single-step to a mid-block breakpoint, stepping across a call, register
+// and memory inspection with name/address translation.
+#include <cstdio>
+
+#include "debug/debugger.h"
+#include "trc/assembler.h"
+
+int main() {
+  using namespace cabt;
+
+  const char* source = R"(
+_start: movi d0, 4            ; 0x80000000
+        movi d1, 0            ; 0x80000004
+loop:   jl accum              ; 0x80000008
+        addi16 d0, -1         ; 0x8000000c
+        jnz16 d0, loop        ; 0x8000000e
+        movha a1, hi(out)     ; 0x80000012
+        lea a1, a1, lo(out)
+        stw d1, [a1]0
+        halt
+accum:  add d1, d1, d0        ; 0x80000022
+        ret16
+        .data
+out:    .word 0
+)";
+
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  const elf::Object object = trc::assemble(source);
+  debug::Debugger dbg(desc, object);
+
+  std::printf("dual translation: block image .text at 0x%08x, instruction "
+              "image at 0x%08x\n",
+              dbg.dual().image.findSection(".text")->addr,
+              dbg.dual().image.findSection(".text.instr")->addr);
+
+  // Breakpoint in the middle of a block: the debugger plants it at the
+  // block start and single-steps to the requested address.
+  dbg.addBreakpoint(0x8000000c);  // the addi16 after the call
+  debug::Stop stop = dbg.run();
+  std::printf("breakpoint hit at src 0x%08x  d0=%u d1=%u (after the first "
+              "call)\n",
+              stop.src_addr, dbg.regByName("d0"), dbg.regByName("d1"));
+
+  // Single-step: addi16, jnz16 (taken), jl, into the callee.
+  for (int i = 0; i < 4; ++i) {
+    stop = dbg.step();
+    std::printf("step -> src 0x%08x  d0=%u d1=%u a11=0x%08x\n",
+                stop.src_addr, dbg.d(0), dbg.d(1), dbg.a(11));
+  }
+
+  // Continue to the same breakpoint again, then run to completion.
+  stop = dbg.run();
+  std::printf("breakpoint hit at src 0x%08x  d1=%u\n", stop.src_addr,
+              dbg.d(1));
+  dbg.removeBreakpoint(0x8000000c);
+  stop = dbg.run();
+  std::printf("program %s; final d1=%u, out=%u (expected 4+3+2+1=10)\n",
+              stop.kind == debug::StopKind::kHalted ? "halted" : "stopped",
+              dbg.d(1),
+              dbg.readMemory(object.findSymbol("out")->value, 4));
+  return dbg.d(1) == 10 ? 0 : 1;
+}

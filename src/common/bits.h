@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the encoders, decoders and cache
+// models. All field positions follow the convention [lo, lo+width).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+
+namespace cabt {
+
+/// Extracts the unsigned bit field value[lo .. lo+width-1].
+constexpr uint32_t bitField(uint32_t value, unsigned lo, unsigned width) {
+  return (width >= 32) ? (value >> lo)
+                       : ((value >> lo) & ((1u << width) - 1u));
+}
+
+/// Sign-extends the low `width` bits of `value` to 32 bits.
+constexpr int32_t signExtend(uint32_t value, unsigned width) {
+  const uint32_t sign = 1u << (width - 1);
+  const uint32_t mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+  const uint32_t v = value & mask;
+  return static_cast<int32_t>((v ^ sign) - sign);
+}
+
+/// True when `value` fits in a signed field of `width` bits.
+constexpr bool fitsSigned(int64_t value, unsigned width) {
+  const int64_t lo = -(int64_t{1} << (width - 1));
+  const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+  return value >= lo && value <= hi;
+}
+
+/// True when `value` fits in an unsigned field of `width` bits.
+constexpr bool fitsUnsigned(uint64_t value, unsigned width) {
+  return width >= 64 || value < (uint64_t{1} << width);
+}
+
+/// Inserts `field` (low `width` bits) into `word` at bit `lo`.
+constexpr uint32_t insertField(uint32_t word, unsigned lo, unsigned width,
+                               uint32_t field) {
+  const uint32_t mask = ((width >= 32) ? ~0u : ((1u << width) - 1u)) << lo;
+  return (word & ~mask) | ((field << lo) & mask);
+}
+
+/// True when `v` is a power of two (and non-zero).
+constexpr bool isPowerOfTwo(uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr unsigned log2Exact(uint32_t v) {
+  unsigned n = 0;
+  while ((v >> n) != 1u) {
+    ++n;
+  }
+  return n;
+}
+
+/// Aligns `v` up to a power-of-two boundary.
+constexpr uint32_t alignUp(uint32_t v, uint32_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace cabt

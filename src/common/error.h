@@ -1,0 +1,67 @@
+// Error handling primitives for the cabt library.
+//
+// Recoverable failures (bad input files, malformed assembly, translation
+// limits) are reported via cabt::Error, an exception carrying a formatted
+// message. Programming errors (violated preconditions inside the library)
+// use CABT_ASSERT, which also throws so that tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cabt {
+
+/// Exception type thrown for all recoverable cabt failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+/// Builds an error message from a stream expression; used by the macros.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+[[noreturn]] inline void throwError(std::string_view where,
+                                    const std::string& msg) {
+  throw Error(std::string(where) + ": " + msg);
+}
+
+}  // namespace detail
+
+// Throws cabt::Error with a streamed message: CABT_FAIL("bad op " << op).
+#define CABT_FAIL(msg_expr)                                  \
+  ::cabt::detail::throwError(                                \
+      __func__, (::cabt::detail::MessageBuilder() << msg_expr).str())
+
+// Checks a recoverable condition; throws cabt::Error when it fails.
+#define CABT_CHECK(cond, msg_expr) \
+  do {                             \
+    if (!(cond)) {                 \
+      CABT_FAIL(msg_expr);         \
+    }                              \
+  } while (false)
+
+// Internal invariant check. Also throws (never aborts) so tests can assert
+// on misuse, per the library's no-UB-on-bad-input policy.
+#define CABT_ASSERT(cond, msg_expr)                         \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      CABT_FAIL("internal invariant failed: " << msg_expr); \
+    }                                                       \
+  } while (false)
+
+}  // namespace cabt

@@ -1,0 +1,102 @@
+// Sparse little-endian byte-addressable memory for the simulators.
+// Backed by 4 KiB pages allocated on first touch; untouched memory reads
+// as zero. Used for the 32-bit address spaces of both processors.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cabt {
+
+class SparseMemory {
+ public:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+  [[nodiscard]] uint8_t read8(uint32_t addr) const {
+    const Page* p = findPage(addr);
+    return p == nullptr ? 0 : (*p)[addr & (kPageSize - 1)];
+  }
+  void write8(uint32_t addr, uint8_t v) {
+    page(addr)[addr & (kPageSize - 1)] = v;
+  }
+
+  [[nodiscard]] uint32_t read(uint32_t addr, unsigned size) const {
+    uint32_t v = 0;
+    for (unsigned i = 0; i < size; ++i) {
+      v |= static_cast<uint32_t>(read8(addr + i)) << (8 * i);
+    }
+    return v;
+  }
+  void write(uint32_t addr, uint32_t v, unsigned size) {
+    for (unsigned i = 0; i < size; ++i) {
+      write8(addr + i, static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  [[nodiscard]] uint16_t read16(uint32_t addr) const {
+    return static_cast<uint16_t>(read(addr, 2));
+  }
+  [[nodiscard]] uint32_t read32(uint32_t addr) const { return read(addr, 4); }
+  void write16(uint32_t addr, uint16_t v) { write(addr, v, 2); }
+  void write32(uint32_t addr, uint32_t v) { write(addr, v, 4); }
+
+  void writeBlock(uint32_t addr, const uint8_t* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      write8(addr + static_cast<uint32_t>(i), data[i]);
+    }
+  }
+
+  /// Addresses of all touched pages (for state-comparison in tests).
+  [[nodiscard]] std::vector<uint32_t> touchedPages() const {
+    std::vector<uint32_t> out;
+    out.reserve(pages_.size());
+    for (const auto& [base, page] : pages_) {
+      out.push_back(base);
+    }
+    return out;
+  }
+
+  /// Compares the full contents of two memories (zero-extended, so a page
+  /// touched with only zeros equals an untouched page).
+  [[nodiscard]] bool contentEquals(const SparseMemory& other) const {
+    return this->coveredBy(other) && other.coveredBy(*this);
+  }
+
+ private:
+  using Page = std::vector<uint8_t>;
+
+  [[nodiscard]] bool coveredBy(const SparseMemory& other) const {
+    for (const auto& [base, page] : pages_) {
+      for (uint32_t i = 0; i < kPageSize; ++i) {
+        if (page[i] != other.read8(base + i)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] const Page* findPage(uint32_t addr) const {
+    const auto it = pages_.find(addr >> kPageBits << kPageBits);
+    return it == pages_.end() ? nullptr : &it->second;
+  }
+
+  Page& page(uint32_t addr) {
+    const uint32_t base = addr >> kPageBits << kPageBits;
+    auto it = pages_.find(base);
+    if (it == pages_.end()) {
+      it = pages_.emplace(base, Page(kPageSize, 0)).first;
+    }
+    return it->second;
+  }
+
+  std::map<uint32_t, Page> pages_;
+};
+
+}  // namespace cabt

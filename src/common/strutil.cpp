@@ -1,0 +1,122 @@
+#include "common/strutil.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace cabt {
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> splitOperands(std::string_view s) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      std::string_view piece = trim(s.substr(start, i - start));
+      if (!piece.empty()) {
+        out.push_back(piece);
+      }
+      start = i + 1;
+    } else if (s[i] == '[') {
+      ++depth;
+    } else if (s[i] == ']') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+int64_t parseInt(std::string_view s) {
+  s = trim(s);
+  CABT_CHECK(!s.empty(), "empty integer literal");
+  bool neg = false;
+  if (s.front() == '-' || s.front() == '+') {
+    neg = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  CABT_CHECK(!s.empty(), "sign with no digits");
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+    base = 2;
+    s.remove_prefix(2);
+  }
+  uint64_t value = 0;
+  for (char c : s) {
+    int digit = -1;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else if (c == '_') {
+      continue;  // digit group separator
+    }
+    CABT_CHECK(digit >= 0 && digit < base, "bad digit '" << c
+                                                         << "' in integer");
+    value = value * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+    CABT_CHECK(value <= (uint64_t{1} << 32), "integer literal out of range");
+  }
+  const int64_t v = static_cast<int64_t>(value);
+  return neg ? -v : v;
+}
+
+bool isIdentifier(std::string_view s) {
+  if (s.empty()) {
+    return false;
+  }
+  const char c0 = s.front();
+  if (std::isalpha(static_cast<unsigned char>(c0)) == 0 && c0 != '_') {
+    return false;
+  }
+  for (char c : s.substr(1)) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string toLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string hex32(uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+}  // namespace cabt

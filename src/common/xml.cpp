@@ -1,0 +1,263 @@
+#include "common/xml.h"
+
+#include <cctype>
+
+#include "common/strutil.h"
+
+namespace cabt::xml {
+namespace {
+
+/// Single-pass recursive-descent parser over the document text.
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  std::unique_ptr<Element> parseDocument() {
+    skipProlog();
+    auto root = parseElement();
+    skipMisc();
+    CABT_CHECK(pos_ >= doc_.size(), "trailing content after root element at "
+                                    "line " << line_);
+    return root;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= doc_.size(); }
+
+  [[nodiscard]] char peek() const {
+    CABT_CHECK(!eof(), "unexpected end of document at line " << line_);
+    return doc_[pos_];
+  }
+
+  char get() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] bool startsWith(std::string_view s) const {
+    return doc_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(std::string_view s) {
+    CABT_CHECK(startsWith(s),
+               "expected '" << s << "' at line " << line_);
+    for (size_t i = 0; i < s.size(); ++i) {
+      get();
+    }
+  }
+
+  void skipWhitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(doc_[pos_]))) {
+      get();
+    }
+  }
+
+  void skipComment() {
+    expect("<!--");
+    while (!startsWith("-->")) {
+      get();
+    }
+    expect("-->");
+  }
+
+  void skipProlog() {
+    skipWhitespace();
+    if (startsWith("<?")) {
+      while (!startsWith("?>")) {
+        get();
+      }
+      expect("?>");
+    }
+    skipMisc();
+  }
+
+  void skipMisc() {
+    for (;;) {
+      skipWhitespace();
+      if (startsWith("<!--")) {
+        skipComment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string parseName() {
+    std::string name;
+    while (!eof()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == ':') {
+        name.push_back(get());
+      } else {
+        break;
+      }
+    }
+    CABT_CHECK(!name.empty(), "expected a name at line " << line_);
+    return name;
+  }
+
+  std::string decodeEntities(std::string_view raw) {
+    std::string out;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const size_t semi = raw.find(';', i);
+      CABT_CHECK(semi != std::string_view::npos,
+                 "unterminated entity at line " << line_);
+      const std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out.push_back('<');
+      } else if (ent == "gt") {
+        out.push_back('>');
+      } else if (ent == "amp") {
+        out.push_back('&');
+      } else if (ent == "quot") {
+        out.push_back('"');
+      } else if (ent == "apos") {
+        out.push_back('\'');
+      } else {
+        CABT_FAIL("unknown entity '&" << std::string(ent) << ";' at line "
+                                      << line_);
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string parseAttrValue() {
+    const char quote = get();
+    CABT_CHECK(quote == '"' || quote == '\'',
+               "expected quoted attribute value at line " << line_);
+    std::string raw;
+    while (peek() != quote) {
+      raw.push_back(get());
+    }
+    get();  // closing quote
+    return decodeEntities(raw);
+  }
+
+  std::unique_ptr<Element> parseElement() {
+    expect("<");
+    auto elem = std::make_unique<Element>(parseName(), line_);
+    for (;;) {
+      skipWhitespace();
+      if (startsWith("/>")) {
+        expect("/>");
+        return elem;
+      }
+      if (startsWith(">")) {
+        expect(">");
+        break;
+      }
+      std::string attrName = parseName();
+      skipWhitespace();
+      expect("=");
+      skipWhitespace();
+      elem->addAttr(std::move(attrName), parseAttrValue());
+    }
+    // Content: text, children, comments, then the closing tag.
+    for (;;) {
+      if (startsWith("<!--")) {
+        skipComment();
+      } else if (startsWith("</")) {
+        expect("</");
+        const std::string closing = parseName();
+        CABT_CHECK(closing == elem->name(),
+                   "mismatched closing tag </" << closing << "> for <"
+                                               << elem->name() << "> at line "
+                                               << line_);
+        skipWhitespace();
+        expect(">");
+        return elem;
+      } else if (startsWith("<")) {
+        elem->addChild(parseElement());
+      } else {
+        std::string raw;
+        while (!eof() && peek() != '<') {
+          raw.push_back(get());
+        }
+        elem->appendText(decodeEntities(raw));
+      }
+    }
+  }
+
+  std::string_view doc_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<const Element*> Element::childrenNamed(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) {
+      out.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Element::hasAttr(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::string& Element::attr(std::string_view name) const {
+  for (const auto& [k, v] : attrs_) {
+    if (k == name) {
+      return v;
+    }
+  }
+  CABT_FAIL("element <" << name_ << "> (line " << line_
+                        << ") missing attribute '" << std::string(name)
+                        << "'");
+}
+
+std::string Element::attrOr(std::string_view name,
+                            std::string_view fallback) const {
+  return hasAttr(name) ? attr(name) : std::string(fallback);
+}
+
+int64_t Element::intAttr(std::string_view name) const {
+  return parseInt(attr(name));
+}
+
+int64_t Element::intAttrOr(std::string_view name, int64_t fallback) const {
+  return hasAttr(name) ? parseInt(attr(name)) : fallback;
+}
+
+void Element::addAttr(std::string name, std::string value) {
+  CABT_CHECK(!hasAttr(name), "duplicate attribute '"
+                                 << name << "' on <" << name_ << "> at line "
+                                 << line_);
+  attrs_.emplace_back(std::move(name), std::move(value));
+}
+
+std::unique_ptr<Element> parse(std::string_view document) {
+  Parser parser(document);
+  return parser.parseDocument();
+}
+
+}  // namespace cabt::xml

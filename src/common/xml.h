@@ -1,0 +1,70 @@
+// Minimal XML-subset parser used for architecture description files.
+//
+// Supports elements, attributes (single or double quoted), text content,
+// comments, XML declarations and self-closing tags. It does not support
+// namespaces, CDATA, DTDs or entity references beyond the five predefined
+// ones — the architecture description schema does not need them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cabt::xml {
+
+/// One parsed XML element. Children are owned; the tree is immutable after
+/// parsing.
+class Element {
+ public:
+  Element(std::string name, int line) : name_(std::move(name)), line_(line) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// All child elements, in document order.
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+
+  /// Children with a given element name.
+  [[nodiscard]] std::vector<const Element*> childrenNamed(
+      std::string_view name) const;
+
+  /// First child with the given name, or nullptr.
+  [[nodiscard]] const Element* child(std::string_view name) const;
+
+  /// True when the attribute is present.
+  [[nodiscard]] bool hasAttr(std::string_view name) const;
+
+  /// Attribute accessors; the non-defaulted forms throw when missing.
+  [[nodiscard]] const std::string& attr(std::string_view name) const;
+  [[nodiscard]] std::string attrOr(std::string_view name,
+                                   std::string_view fallback) const;
+  [[nodiscard]] int64_t intAttr(std::string_view name) const;
+  [[nodiscard]] int64_t intAttrOr(std::string_view name,
+                                  int64_t fallback) const;
+
+  // Mutators used by the parser only.
+  void addAttr(std::string name, std::string value);
+  void addChild(std::unique_ptr<Element> child) {
+    children_.push_back(std::move(child));
+  }
+  void appendText(std::string_view t) { text_.append(t); }
+
+ private:
+  std::string name_;
+  int line_ = 0;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// Parses a document and returns its root element. Throws cabt::Error with
+/// a line number on malformed input.
+std::unique_ptr<Element> parse(std::string_view document);
+
+}  // namespace cabt::xml

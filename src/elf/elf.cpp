@@ -1,0 +1,371 @@
+#include "elf/elf.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/strutil.h"
+
+namespace cabt::elf {
+namespace {
+
+// ELF constants (subset).
+constexpr uint8_t kElfClass32 = 1;
+constexpr uint8_t kElfData2Lsb = 1;
+constexpr uint16_t kEtExec = 2;
+constexpr uint32_t kShtNull = 0;
+constexpr uint32_t kShtProgbits = 1;
+constexpr uint32_t kShtSymtab = 2;
+constexpr uint32_t kShtStrtab = 3;
+constexpr uint32_t kShtNobits = 8;
+constexpr uint32_t kShfWrite = 0x1;
+constexpr uint32_t kShfAlloc = 0x2;
+constexpr uint32_t kShfExecinstr = 0x4;
+constexpr uint32_t kEhSize = 52;
+constexpr uint32_t kShentSize = 40;
+constexpr uint32_t kSymentSize = 16;
+
+/// Append helpers for little-endian serialisation.
+void put8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+void put16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+void put32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t get16(const std::vector<uint8_t>& b, size_t off) {
+  CABT_CHECK(off + 2 <= b.size(), "ELF read out of bounds");
+  return static_cast<uint16_t>(b[off] | (b[off + 1] << 8));
+}
+uint32_t get32(const std::vector<uint8_t>& b, size_t off) {
+  CABT_CHECK(off + 4 <= b.size(), "ELF read out of bounds");
+  return static_cast<uint32_t>(b[off]) | (static_cast<uint32_t>(b[off + 1]) << 8) |
+         (static_cast<uint32_t>(b[off + 2]) << 16) |
+         (static_cast<uint32_t>(b[off + 3]) << 24);
+}
+
+/// Incrementally built string table.
+class StringTable {
+ public:
+  StringTable() { data_.push_back('\0'); }
+  uint32_t add(const std::string& s) {
+    const uint32_t off = static_cast<uint32_t>(data_.size());
+    data_.insert(data_.end(), s.begin(), s.end());
+    data_.push_back('\0');
+    return off;
+  }
+  [[nodiscard]] const std::vector<uint8_t>& bytes() const { return data_; }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+std::string readString(const std::vector<uint8_t>& strtab, uint32_t off) {
+  CABT_CHECK(off < strtab.size(), "string table offset out of range");
+  const auto* begin = strtab.data() + off;
+  const auto* end = strtab.data() + strtab.size();
+  const auto* nul = std::find(begin, end, uint8_t{0});
+  CABT_CHECK(nul != end, "unterminated string table entry");
+  return std::string(begin, nul);
+}
+
+}  // namespace
+
+const Section* Object::findSection(std::string_view name) const {
+  for (const Section& s : sections) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const Section* Object::sectionContaining(uint32_t addr) const {
+  for (const Section& s : sections) {
+    if (s.contains(addr)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+const Symbol* Object::findSymbol(std::string_view name) const {
+  for (const Symbol& s : symbols) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> Object::read(uint32_t addr, uint32_t size) const {
+  const Section* s = sectionContaining(addr);
+  CABT_CHECK(s != nullptr,
+             "no section contains address " << hex32(addr));
+  CABT_CHECK(addr - s->addr + size <= s->sizeInMemory(),
+             "read of " << size << " bytes at " << hex32(addr)
+                        << " crosses the end of section " << s->name);
+  std::vector<uint8_t> out(size, 0);
+  if (s->kind == SectionKind::kProgbits) {
+    std::memcpy(out.data(), s->data.data() + (addr - s->addr), size);
+  }
+  return out;
+}
+
+std::vector<uint8_t> write(const Object& object) {
+  // Layout: ELF header | section data blobs | .shstrtab | .strtab |
+  // .symtab | section header table.
+  StringTable shstrtab;
+  StringTable strtab;
+
+  // Section header table entries: NULL + user sections + shstrtab +
+  // strtab + symtab.
+  const uint32_t num_user = static_cast<uint32_t>(object.sections.size());
+  const uint32_t shnum = num_user + 4;
+
+  struct RawSection {
+    uint32_t name_off, type, flags, addr, offset, size, link, info, align,
+        entsize;
+  };
+  std::vector<RawSection> headers;
+  headers.push_back({0, kShtNull, 0, 0, 0, 0, 0, 0, 0, 0});
+
+  std::vector<uint8_t> body;  // everything between the ELF header and the SHT
+  const auto bodyOffset = [&body]() {
+    return kEhSize + static_cast<uint32_t>(body.size());
+  };
+
+  for (const Section& s : object.sections) {
+    uint32_t flags = kShfAlloc;
+    if (s.writable) {
+      flags |= kShfWrite;
+    }
+    if (s.executable) {
+      flags |= kShfExecinstr;
+    }
+    while ((bodyOffset() % s.align) != 0) {
+      body.push_back(0);
+    }
+    RawSection raw{};
+    raw.name_off = shstrtab.add(s.name);
+    raw.addr = s.addr;
+    raw.align = s.align;
+    raw.flags = flags;
+    raw.offset = bodyOffset();
+    if (s.kind == SectionKind::kProgbits) {
+      raw.type = kShtProgbits;
+      raw.size = static_cast<uint32_t>(s.data.size());
+      body.insert(body.end(), s.data.begin(), s.data.end());
+    } else {
+      CABT_CHECK(s.data.empty(), "NOBITS section '" << s.name
+                                                    << "' carries data");
+      raw.type = kShtNobits;
+      raw.size = s.mem_size;
+    }
+    headers.push_back(raw);
+  }
+
+  // Symbol table payload (first entry is the null symbol).
+  std::vector<uint8_t> symtab_bytes;
+  put32(symtab_bytes, 0);
+  put32(symtab_bytes, 0);
+  put32(symtab_bytes, 0);
+  put32(symtab_bytes, 0);
+  uint32_t num_local = 0;
+  // ELF requires local symbols before globals; emit in two passes.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Symbol& sym : object.symbols) {
+      const bool is_local = sym.binding == SymbolBinding::kLocal;
+      if ((pass == 0) != is_local) {
+        continue;
+      }
+      num_local += pass == 0 ? 1 : 0;
+      put32(symtab_bytes, strtab.add(sym.name));
+      put32(symtab_bytes, sym.value);
+      put32(symtab_bytes, 0);  // st_size
+      const uint8_t bind = is_local ? 0 : 1;
+      put8(symtab_bytes, static_cast<uint8_t>(bind << 4));  // notype
+      put8(symtab_bytes, 0);                                // st_other
+      const uint16_t shndx =
+          sym.section < 0 ? 0xfff1 /*SHN_ABS*/
+                          : static_cast<uint16_t>(sym.section + 1);
+      put16(symtab_bytes, shndx);
+    }
+  }
+
+  const uint32_t shstrtab_name = shstrtab.add(".shstrtab");
+  const uint32_t strtab_name = shstrtab.add(".strtab");
+  const uint32_t symtab_name = shstrtab.add(".symtab");
+
+  const uint32_t shstrtab_off = bodyOffset();
+  body.insert(body.end(), shstrtab.bytes().begin(), shstrtab.bytes().end());
+  headers.push_back({shstrtab_name, kShtStrtab, 0, 0, shstrtab_off,
+                     static_cast<uint32_t>(shstrtab.bytes().size()), 0, 0, 1,
+                     0});
+
+  const uint32_t strtab_off = bodyOffset();
+  body.insert(body.end(), strtab.bytes().begin(), strtab.bytes().end());
+  const uint32_t strtab_index = num_user + 2;
+  headers.push_back({strtab_name, kShtStrtab, 0, 0, strtab_off,
+                     static_cast<uint32_t>(strtab.bytes().size()), 0, 0, 1,
+                     0});
+
+  while ((bodyOffset() % 4) != 0) {
+    body.push_back(0);
+  }
+  const uint32_t symtab_off = bodyOffset();
+  body.insert(body.end(), symtab_bytes.begin(), symtab_bytes.end());
+  headers.push_back({symtab_name, kShtSymtab, 0, 0, symtab_off,
+                     static_cast<uint32_t>(symtab_bytes.size()), strtab_index,
+                     num_local + 1, 4, kSymentSize});
+
+  while ((bodyOffset() % 4) != 0) {
+    body.push_back(0);
+  }
+  const uint32_t shoff = bodyOffset();
+
+  std::vector<uint8_t> out;
+  out.reserve(kEhSize + body.size() + headers.size() * kShentSize);
+  // e_ident
+  put8(out, 0x7f);
+  put8(out, 'E');
+  put8(out, 'L');
+  put8(out, 'F');
+  put8(out, kElfClass32);
+  put8(out, kElfData2Lsb);
+  put8(out, 1);  // EV_CURRENT
+  for (int i = 0; i < 9; ++i) {
+    put8(out, 0);
+  }
+  put16(out, kEtExec);
+  put16(out, static_cast<uint16_t>(object.machine));
+  put32(out, 1);  // e_version
+  put32(out, object.entry);
+  put32(out, 0);  // e_phoff (no program headers; sections carry addresses)
+  put32(out, shoff);
+  put32(out, 0);  // e_flags
+  put16(out, kEhSize);
+  put16(out, 0);  // e_phentsize
+  put16(out, 0);  // e_phnum
+  put16(out, kShentSize);
+  put16(out, static_cast<uint16_t>(shnum));
+  put16(out, static_cast<uint16_t>(num_user + 1));  // shstrndx
+
+  out.insert(out.end(), body.begin(), body.end());
+  for (const RawSection& h : headers) {
+    put32(out, h.name_off);
+    put32(out, h.type);
+    put32(out, h.flags);
+    put32(out, h.addr);
+    put32(out, h.offset);
+    put32(out, h.size);
+    put32(out, h.link);
+    put32(out, h.info);
+    put32(out, h.align);
+    put32(out, h.entsize);
+  }
+  return out;
+}
+
+Object read(const std::vector<uint8_t>& bytes) {
+  CABT_CHECK(bytes.size() >= kEhSize, "file too small to be ELF");
+  CABT_CHECK(bytes[0] == 0x7f && bytes[1] == 'E' && bytes[2] == 'L' &&
+                 bytes[3] == 'F',
+             "bad ELF magic");
+  CABT_CHECK(bytes[4] == kElfClass32, "not an ELF32 file");
+  CABT_CHECK(bytes[5] == kElfData2Lsb, "not little-endian");
+
+  Object obj;
+  obj.machine = static_cast<Machine>(get16(bytes, 18));
+  CABT_CHECK(obj.machine == Machine::kTrc32 || obj.machine == Machine::kV6x,
+             "unknown e_machine value " << get16(bytes, 18));
+  obj.entry = get32(bytes, 24);
+  const uint32_t shoff = get32(bytes, 32);
+  const uint16_t shentsize = get16(bytes, 46);
+  const uint16_t shnum = get16(bytes, 48);
+  const uint16_t shstrndx = get16(bytes, 50);
+  CABT_CHECK(shentsize == kShentSize, "unexpected section header size");
+  CABT_CHECK(shstrndx < shnum, "bad shstrndx");
+
+  struct RawSection {
+    uint32_t name_off, type, flags, addr, offset, size, link, info;
+  };
+  std::vector<RawSection> raw(shnum);
+  for (uint32_t i = 0; i < shnum; ++i) {
+    const size_t off = shoff + i * kShentSize;
+    raw[i] = {get32(bytes, off),      get32(bytes, off + 4),
+              get32(bytes, off + 8),  get32(bytes, off + 12),
+              get32(bytes, off + 16), get32(bytes, off + 20),
+              get32(bytes, off + 24), get32(bytes, off + 28)};
+  }
+
+  const RawSection& shstr = raw[shstrndx];
+  CABT_CHECK(shstr.type == kShtStrtab, "shstrndx is not a string table");
+  std::vector<uint8_t> shstrtab(bytes.begin() + shstr.offset,
+                                bytes.begin() + shstr.offset + shstr.size);
+
+  // Map from ELF section index to Object::sections index, for symbols.
+  std::vector<int> index_map(shnum, -1);
+  const RawSection* symtab = nullptr;
+  const RawSection* symstr = nullptr;
+  for (uint32_t i = 1; i < shnum; ++i) {
+    const RawSection& r = raw[i];
+    const std::string name = readString(shstrtab, r.name_off);
+    if (r.type == kShtSymtab) {
+      symtab = &r;
+      CABT_CHECK(r.link < shnum && raw[r.link].type == kShtStrtab,
+                 "symtab links to a non-strtab section");
+      symstr = &raw[r.link];
+      continue;
+    }
+    if (r.type != kShtProgbits && r.type != kShtNobits) {
+      continue;
+    }
+    Section s;
+    s.name = name;
+    s.addr = r.addr;
+    s.align = raw[i].type == kShtNobits ? 4 : std::max<uint32_t>(1, 4);
+    s.writable = (r.flags & kShfWrite) != 0;
+    s.executable = (r.flags & kShfExecinstr) != 0;
+    if (r.type == kShtProgbits) {
+      s.kind = SectionKind::kProgbits;
+      CABT_CHECK(static_cast<size_t>(r.offset) + r.size <= bytes.size(),
+                 "section '" << name << "' extends past end of file");
+      s.data.assign(bytes.begin() + r.offset,
+                    bytes.begin() + r.offset + r.size);
+    } else {
+      s.kind = SectionKind::kNobits;
+      s.mem_size = r.size;
+    }
+    index_map[i] = static_cast<int>(obj.sections.size());
+    obj.sections.push_back(std::move(s));
+  }
+
+  if (symtab != nullptr) {
+    std::vector<uint8_t> strtab(bytes.begin() + symstr->offset,
+                                bytes.begin() + symstr->offset + symstr->size);
+    const uint32_t count = symtab->size / kSymentSize;
+    for (uint32_t i = 1; i < count; ++i) {
+      const size_t off = symtab->offset + i * kSymentSize;
+      Symbol sym;
+      sym.name = readString(strtab, get32(bytes, off));
+      sym.value = get32(bytes, off + 4);
+      const uint8_t info = bytes[off + 12];
+      sym.binding = (info >> 4) == 0 ? SymbolBinding::kLocal
+                                     : SymbolBinding::kGlobal;
+      const uint16_t shndx = get16(bytes, off + 14);
+      sym.section = shndx == 0xfff1 || shndx == 0
+                        ? -1
+                        : index_map[shndx];
+      obj.symbols.push_back(std::move(sym));
+    }
+  }
+  return obj;
+}
+
+}  // namespace cabt::elf

@@ -1,0 +1,88 @@
+// Minimal ELF32 object reader/writer.
+//
+// The translator consumes source-processor programs as ELF32 images (the
+// paper: "the compiler reads the object file, which is usually provided in
+// ELF format") and emits translated VLIW programs in the same container.
+// This implements the subset needed for executable images: the ELF header,
+// section headers, a section-header string table, a symbol table and
+// PROGBITS/NOBITS sections. Byte order is little-endian.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cabt::elf {
+
+/// ELF e_machine values for the two instruction sets in this repository.
+/// (Private values in the processor-specific range.)
+enum class Machine : uint16_t {
+  kTrc32 = 0xf301,  ///< the TriCore-flavoured source ISA
+  kV6x = 0xf302,    ///< the C6x-flavoured VLIW target ISA
+};
+
+/// Section kinds we materialise (maps to SHT_PROGBITS / SHT_NOBITS).
+enum class SectionKind : uint8_t {
+  kProgbits,
+  kNobits,
+};
+
+/// One section of an object file. For kNobits sections `data` must be
+/// empty and `mem_size` gives the size.
+struct Section {
+  std::string name;
+  SectionKind kind = SectionKind::kProgbits;
+  uint32_t addr = 0;
+  uint32_t align = 4;
+  bool writable = false;
+  bool executable = false;
+  std::vector<uint8_t> data;
+  uint32_t mem_size = 0;  ///< only meaningful for kNobits
+
+  [[nodiscard]] uint32_t sizeInMemory() const {
+    return kind == SectionKind::kNobits ? mem_size
+                                        : static_cast<uint32_t>(data.size());
+  }
+  [[nodiscard]] bool contains(uint32_t a) const {
+    return a >= addr && a - addr < sizeInMemory();
+  }
+};
+
+/// Symbol binding subset.
+enum class SymbolBinding : uint8_t { kLocal, kGlobal };
+
+/// One symbol-table entry. `section` indexes Object::sections, or -1 for
+/// absolute symbols.
+struct Symbol {
+  std::string name;
+  uint32_t value = 0;
+  int section = -1;
+  SymbolBinding binding = SymbolBinding::kGlobal;
+};
+
+/// An in-memory object file.
+struct Object {
+  Machine machine = Machine::kTrc32;
+  uint32_t entry = 0;
+  std::vector<Section> sections;
+  std::vector<Symbol> symbols;
+
+  [[nodiscard]] const Section* findSection(std::string_view name) const;
+  [[nodiscard]] const Section* sectionContaining(uint32_t addr) const;
+  [[nodiscard]] const Symbol* findSymbol(std::string_view name) const;
+
+  /// Reads `size` bytes at virtual address `addr` across one section.
+  /// Throws when the range is not fully inside a section (NOBITS reads
+  /// yield zeros).
+  [[nodiscard]] std::vector<uint8_t> read(uint32_t addr, uint32_t size) const;
+};
+
+/// Serialises an object to ELF32 bytes.
+std::vector<uint8_t> write(const Object& object);
+
+/// Parses ELF32 bytes produced by write() (or any conforming subset).
+/// Throws cabt::Error on malformed input.
+Object read(const std::vector<uint8_t>& bytes);
+
+}  // namespace cabt::elf

@@ -1,0 +1,364 @@
+#include "iss/iss.h"
+
+#include "common/bits.h"
+#include "common/strutil.h"
+#include "trc/program.h"
+
+namespace cabt::iss {
+
+using arch::OpClass;
+using trc::Instr;
+using trc::Opc;
+
+Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
+         soc::SocBus* bus, IssConfig config)
+    : desc_(desc),
+      config_(config),
+      bus_(bus),
+      decoded_(trc::decodeText(object)),
+      timer_(desc_.pipeline),
+      icache_(desc_.icache) {
+  leaders_ = trc::findLeaders(object, decoded_);
+  for (size_t i = 0; i < decoded_.size(); ++i) {
+    by_addr_.emplace(decoded_[i].addr, i);
+  }
+  for (const elf::Section& s : object.sections) {
+    if (s.kind == elf::SectionKind::kProgbits) {
+      mem_.writeBlock(s.addr, s.data.data(), s.data.size());
+    }
+    // NOBITS sections read as zero in SparseMemory already.
+  }
+  pc_ = object.entry;
+}
+
+const Instr& Iss::fetch(uint32_t addr) const {
+  const auto it = by_addr_.find(addr);
+  CABT_CHECK(it != by_addr_.end(),
+             "PC " << hex32(addr) << " is not at an instruction boundary");
+  return decoded_[it->second];
+}
+
+uint64_t Iss::currentCycle() const {
+  return committed_cycles_ + timer_.cycles();
+}
+
+void Iss::syncBusClock() {
+  if (bus_ == nullptr) {
+    return;
+  }
+  const uint64_t now = currentCycle();
+  while (bus_->socCycle() < now) {
+    bus_->clockCycle();
+  }
+}
+
+void Iss::finishBlock() {
+  if (!in_block_) {
+    return;
+  }
+  const uint64_t pipeline = timer_.cycles();
+  committed_cycles_ += pipeline;
+  stats_.pipeline_cycles += pipeline;
+  current_block_.pipeline_cycles = static_cast<uint32_t>(pipeline);
+  if (trace_blocks_) {
+    block_trace_.push_back(current_block_);
+  }
+  timer_.reset();
+  have_line_ = false;
+  in_block_ = false;
+  stats_.cycles = committed_cycles_;
+}
+
+StopReason Iss::step() {
+  if (stop_ != StopReason::kRunning) {
+    return stop_;
+  }
+  if (stats_.instructions >= config_.max_instructions) {
+    stop_ = StopReason::kMaxInstructions;
+    return stop_;
+  }
+  const Instr& instr = fetch(pc_);
+
+  if (config_.model_timing) {
+    if (!in_block_ || leaders_.count(pc_) != 0) {
+      finishBlock();
+      current_block_ = BlockRecord{};
+      current_block_.addr = pc_;
+      in_block_ = true;
+      ++stats_.blocks;
+    }
+    // Instruction fetch: one cache access per distinct consecutive line
+    // within the block (the cache-analysis-block rule).
+    if (desc_.icache.enabled) {
+      const uint32_t line = desc_.icache.lineOf(pc_);
+      if (!have_line_ || line != last_line_) {
+        have_line_ = true;
+        last_line_ = line;
+        ++stats_.icache_accesses;
+        if (!icache_.access(pc_)) {
+          ++stats_.icache_misses;
+          committed_cycles_ += desc_.icache.miss_penalty;
+          stats_.cache_penalty += desc_.icache.miss_penalty;
+          current_block_.cache_penalty += desc_.icache.miss_penalty;
+        }
+      }
+    }
+    timer_.issue(instr.timedOp());
+  }
+
+  execute(instr);
+  ++stats_.instructions;
+  if (stop_ == StopReason::kHalted) {
+    finishBlock();
+    syncBusClock();
+  }
+  return stop_;
+}
+
+StopReason Iss::run() {
+  while (step() == StopReason::kRunning) {
+  }
+  return stop_ == StopReason::kRunning ? StopReason::kMaxInstructions : stop_;
+}
+
+uint32_t Iss::loadMem(uint32_t addr, unsigned size, bool sign) {
+  uint32_t v;
+  if (bus_ != nullptr && bus_->covers(addr)) {
+    syncBusClock();
+    v = bus_->read(addr, size);
+    ++stats_.io_reads;
+  } else {
+    v = mem_.read(addr, size);
+  }
+  if (sign && size < 4) {
+    v = static_cast<uint32_t>(signExtend(v, size * 8));
+  }
+  return v;
+}
+
+void Iss::storeMem(uint32_t addr, uint32_t value, unsigned size) {
+  if (bus_ != nullptr && bus_->covers(addr)) {
+    syncBusClock();
+    bus_->write(addr, value, size);
+    ++stats_.io_writes;
+  } else {
+    mem_.write(addr, value, size);
+  }
+}
+
+void Iss::execute(const Instr& in) {
+  const arch::BranchModel& bm = desc_.branch;
+  uint32_t next_pc = pc_ + in.size;
+
+  const auto condBranch = [&](bool taken) {
+    ++stats_.cond_branches;
+    const bool predicted_taken = arch::BranchModel::predictsTaken(in.imm);
+    if (taken) {
+      ++stats_.cond_taken;
+      next_pc = in.branchTarget();
+    }
+    if (predicted_taken != taken) {
+      ++stats_.mispredicts;
+    }
+    if (config_.model_timing) {
+      const unsigned extra = bm.conditionalExtra(predicted_taken, taken);
+      committed_cycles_ += extra;
+      stats_.branch_extra += extra;
+      current_block_.branch_extra += extra;
+    }
+  };
+  const auto uncondExtra = [&] {
+    if (config_.model_timing) {
+      const unsigned extra = bm.unconditionalExtra(in.cls());
+      committed_cycles_ += extra;
+      stats_.branch_extra += extra;
+      current_block_.branch_extra += extra;
+    }
+  };
+
+  switch (in.opc) {
+    case Opc::kAdd:
+      d_[in.rd] = d_[in.ra] + d_[in.rb];
+      break;
+    case Opc::kSub:
+      d_[in.rd] = d_[in.ra] - d_[in.rb];
+      break;
+    case Opc::kAnd:
+      d_[in.rd] = d_[in.ra] & d_[in.rb];
+      break;
+    case Opc::kOr:
+      d_[in.rd] = d_[in.ra] | d_[in.rb];
+      break;
+    case Opc::kXor:
+      d_[in.rd] = d_[in.ra] ^ d_[in.rb];
+      break;
+    case Opc::kShl:
+      d_[in.rd] = d_[in.ra] << (d_[in.rb] & 31);
+      break;
+    case Opc::kShr:
+      d_[in.rd] = d_[in.ra] >> (d_[in.rb] & 31);
+      break;
+    case Opc::kSar:
+      d_[in.rd] = static_cast<uint32_t>(static_cast<int32_t>(d_[in.ra]) >>
+                                        (d_[in.rb] & 31));
+      break;
+    case Opc::kMul:
+      d_[in.rd] = d_[in.ra] * d_[in.rb];
+      break;
+    case Opc::kEq:
+      d_[in.rd] = d_[in.ra] == d_[in.rb] ? 1 : 0;
+      break;
+    case Opc::kNe:
+      d_[in.rd] = d_[in.ra] != d_[in.rb] ? 1 : 0;
+      break;
+    case Opc::kLt:
+      d_[in.rd] = static_cast<int32_t>(d_[in.ra]) <
+                          static_cast<int32_t>(d_[in.rb])
+                      ? 1
+                      : 0;
+      break;
+    case Opc::kGe:
+      d_[in.rd] = static_cast<int32_t>(d_[in.ra]) >=
+                          static_cast<int32_t>(d_[in.rb])
+                      ? 1
+                      : 0;
+      break;
+    case Opc::kLtu:
+      d_[in.rd] = d_[in.ra] < d_[in.rb] ? 1 : 0;
+      break;
+    case Opc::kGeu:
+      d_[in.rd] = d_[in.ra] >= d_[in.rb] ? 1 : 0;
+      break;
+    case Opc::kAddi:
+      d_[in.rd] = d_[in.ra] + static_cast<uint32_t>(in.imm);
+      break;
+    case Opc::kMovi:
+      d_[in.rd] = static_cast<uint32_t>(in.imm);
+      break;
+    case Opc::kMovh:
+      d_[in.rd] = static_cast<uint32_t>(in.imm) << 16;
+      break;
+    case Opc::kMova:
+      a_[in.rd] = d_[in.ra];
+      break;
+    case Opc::kMovd:
+      d_[in.rd] = a_[in.ra];
+      break;
+    case Opc::kLea:
+      a_[in.rd] = a_[in.ra] + static_cast<uint32_t>(in.imm);
+      break;
+    case Opc::kMovha:
+      a_[in.rd] = static_cast<uint32_t>(in.imm) << 16;
+      break;
+    case Opc::kAdda:
+      a_[in.rd] = a_[in.ra] + a_[in.rb];
+      break;
+    case Opc::kSuba:
+      a_[in.rd] = a_[in.ra] - a_[in.rb];
+      break;
+    case Opc::kLdw:
+      d_[in.rd] = loadMem(a_[in.ra] + static_cast<uint32_t>(in.imm), 4, false);
+      break;
+    case Opc::kLdh:
+      d_[in.rd] = loadMem(a_[in.ra] + static_cast<uint32_t>(in.imm), 2, true);
+      break;
+    case Opc::kLdhu:
+      d_[in.rd] = loadMem(a_[in.ra] + static_cast<uint32_t>(in.imm), 2, false);
+      break;
+    case Opc::kLdb:
+      d_[in.rd] = loadMem(a_[in.ra] + static_cast<uint32_t>(in.imm), 1, true);
+      break;
+    case Opc::kLdbu:
+      d_[in.rd] = loadMem(a_[in.ra] + static_cast<uint32_t>(in.imm), 1, false);
+      break;
+    case Opc::kLda:
+      a_[in.rd] = loadMem(a_[in.ra] + static_cast<uint32_t>(in.imm), 4, false);
+      break;
+    case Opc::kStw:
+      storeMem(a_[in.ra] + static_cast<uint32_t>(in.imm), d_[in.rd], 4);
+      break;
+    case Opc::kSth:
+      storeMem(a_[in.ra] + static_cast<uint32_t>(in.imm), d_[in.rd], 2);
+      break;
+    case Opc::kStb:
+      storeMem(a_[in.ra] + static_cast<uint32_t>(in.imm), d_[in.rd], 1);
+      break;
+    case Opc::kSta:
+      storeMem(a_[in.ra] + static_cast<uint32_t>(in.imm), a_[in.rd], 4);
+      break;
+    case Opc::kJ:
+    case Opc::kJ16:
+      next_pc = in.branchTarget();
+      uncondExtra();
+      break;
+    case Opc::kJl:
+      a_[trc::kLinkRegister] = pc_ + in.size;
+      next_pc = in.branchTarget();
+      uncondExtra();
+      break;
+    case Opc::kJi:
+      next_pc = a_[in.ra];
+      uncondExtra();
+      break;
+    case Opc::kRet16:
+      next_pc = a_[trc::kLinkRegister];
+      uncondExtra();
+      break;
+    case Opc::kJeq:
+      condBranch(d_[in.ra] == d_[in.rb]);
+      break;
+    case Opc::kJne:
+      condBranch(d_[in.ra] != d_[in.rb]);
+      break;
+    case Opc::kJlt:
+      condBranch(static_cast<int32_t>(d_[in.ra]) <
+                 static_cast<int32_t>(d_[in.rb]));
+      break;
+    case Opc::kJge:
+      condBranch(static_cast<int32_t>(d_[in.ra]) >=
+                 static_cast<int32_t>(d_[in.rb]));
+      break;
+    case Opc::kJltu:
+      condBranch(d_[in.ra] < d_[in.rb]);
+      break;
+    case Opc::kJgeu:
+      condBranch(d_[in.ra] >= d_[in.rb]);
+      break;
+    case Opc::kJnz16:
+      condBranch(d_[in.rd] != 0);
+      break;
+    case Opc::kJz16:
+      condBranch(d_[in.rd] == 0);
+      break;
+    case Opc::kNop:
+    case Opc::kNop16:
+      break;
+    case Opc::kHalt:
+      stop_ = StopReason::kHalted;
+      return;  // PC stays at the HALT instruction
+    case Opc::kBkpt:
+      stop_ = StopReason::kBreakpoint;
+      pc_ += in.size;
+      return;
+    case Opc::kMov16:
+      d_[in.rd] = d_[in.rb];
+      break;
+    case Opc::kAdd16:
+      d_[in.rd] += d_[in.rb];
+      break;
+    case Opc::kSub16:
+      d_[in.rd] -= d_[in.rb];
+      break;
+    case Opc::kMovi16:
+      d_[in.rd] = static_cast<uint32_t>(in.imm);
+      break;
+    case Opc::kAddi16:
+      d_[in.rd] += static_cast<uint32_t>(in.imm);
+      break;
+    default:
+      CABT_FAIL("unhandled opcode in ISS: " << in.info().mnemonic);
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace cabt::iss

@@ -1,0 +1,132 @@
+// Cycle-accurate interpretive instruction-set simulator for TRC32.
+//
+// Plays the role of the paper's TriCore TC10GP evaluation board: the
+// ground truth for both instruction counts and cycle counts that the
+// translated code is compared against (paper section 4). The timing model
+// is the architecture description's: dual-issue in-order pipeline that
+// drains at basic-block boundaries, static backward-taken branch
+// prediction, and a set-associative instruction cache (see DESIGN.md for
+// the precise fetch rule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/arch.h"
+#include "arch/icache_model.h"
+#include "arch/timing.h"
+#include "common/sparse_mem.h"
+#include "elf/elf.h"
+#include "soc/bus.h"
+#include "trc/isa.h"
+
+namespace cabt::iss {
+
+enum class StopReason {
+  kRunning,
+  kHalted,
+  kBreakpoint,      ///< BKPT instruction executed
+  kMaxInstructions,
+};
+
+struct IssStats {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  uint64_t pipeline_cycles = 0;   ///< cycles from the issue schedule alone
+  uint64_t branch_extra = 0;      ///< branch-outcome extra cycles
+  uint64_t cache_penalty = 0;     ///< instruction-cache miss cycles
+  uint64_t blocks = 0;            ///< executed basic blocks
+  uint64_t icache_accesses = 0;
+  uint64_t icache_misses = 0;
+  uint64_t cond_branches = 0;
+  uint64_t cond_taken = 0;
+  uint64_t mispredicts = 0;
+  uint64_t io_reads = 0;
+  uint64_t io_writes = 0;
+};
+
+struct IssConfig {
+  bool model_timing = true;  ///< false = functional-only (no cycle counts)
+  uint64_t max_instructions = 500'000'000;
+};
+
+/// Per-executed-block timing record (enabled on demand; used by accuracy
+/// tests to localise any deviation).
+struct BlockRecord {
+  uint32_t addr = 0;
+  uint32_t pipeline_cycles = 0;
+  uint32_t branch_extra = 0;
+  uint32_t cache_penalty = 0;
+};
+
+class Iss {
+ public:
+  /// `bus` may be null when the program performs no I/O; the bus is
+  /// clocked in lockstep with the modelled cycle count.
+  Iss(const arch::ArchDescription& desc, const elf::Object& object,
+      soc::SocBus* bus = nullptr, IssConfig config = {});
+
+  /// Runs until HALT/BKPT or the instruction limit.
+  StopReason run();
+  /// Executes a single instruction.
+  StopReason step();
+
+  [[nodiscard]] uint32_t pc() const { return pc_; }
+  [[nodiscard]] uint32_t d(int i) const { return d_.at(i); }
+  [[nodiscard]] uint32_t a(int i) const { return a_.at(i); }
+  void setPc(uint32_t pc) { pc_ = pc; }
+  void setD(int i, uint32_t v) { d_.at(i) = v; }
+  void setA(int i, uint32_t v) { a_.at(i) = v; }
+
+  [[nodiscard]] const IssStats& stats() const { return stats_; }
+  [[nodiscard]] SparseMemory& memory() { return mem_; }
+  [[nodiscard]] const SparseMemory& memory() const { return mem_; }
+  [[nodiscard]] const std::set<uint32_t>& leaders() const { return leaders_; }
+  [[nodiscard]] const arch::ICacheState& icache() const { return icache_; }
+
+  void enableBlockTrace(bool on) { trace_blocks_ = on; }
+  [[nodiscard]] const std::vector<BlockRecord>& blockTrace() const {
+    return block_trace_;
+  }
+
+ private:
+  const trc::Instr& fetch(uint32_t addr) const;
+  void finishBlock();
+  uint32_t loadMem(uint32_t addr, unsigned size, bool sign);
+  void storeMem(uint32_t addr, uint32_t value, unsigned size);
+  void syncBusClock();
+  [[nodiscard]] uint64_t currentCycle() const;
+  void execute(const trc::Instr& instr);
+
+  arch::ArchDescription desc_;
+  IssConfig config_;
+  soc::SocBus* bus_;
+  SparseMemory mem_;
+  std::vector<trc::Instr> decoded_;
+  std::unordered_map<uint32_t, size_t> by_addr_;
+  std::set<uint32_t> leaders_;
+
+  std::array<uint32_t, 16> d_{};
+  std::array<uint32_t, 16> a_{};
+  uint32_t pc_ = 0;
+  StopReason stop_ = StopReason::kRunning;
+
+  // Timing state.
+  arch::PipelineTimer timer_;
+  arch::ICacheState icache_;
+  uint64_t committed_cycles_ = 0;  ///< includes finished blocks + penalties
+  bool have_line_ = false;
+  uint32_t last_line_ = 0;
+  BlockRecord current_block_{};
+  bool in_block_ = false;
+  bool trace_blocks_ = false;
+  std::vector<BlockRecord> block_trace_;
+
+  IssStats stats_;
+};
+
+}  // namespace cabt::iss

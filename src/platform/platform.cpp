@@ -1,0 +1,98 @@
+#include "platform/platform.h"
+
+#include "common/strutil.h"
+
+namespace cabt::platform {
+
+EmulationPlatform::EmulationPlatform(const arch::ArchDescription& desc,
+                                     const elf::Object& image,
+                                     PlatformConfig config)
+    : config_(config) {
+  const MemRegion* io = desc.memory_map.findNamed("io");
+  CABT_CHECK(io != nullptr, "architecture has no 'io' region");
+  board_ = std::make_unique<soc::StandardPeripherals>(io->base);
+  sync_ = std::make_unique<soc::SyncDevice>(&board_->bus,
+                                            config_.vliw_cycles_per_soc_cycle);
+  sync_handler_ = std::make_unique<SyncHandler>(sync_.get());
+  bridge_ = std::make_unique<BridgeHandler>(&board_->bus, sync_.get(),
+                                            io->base, io->size);
+  sim_.loadProgram(image);
+  sim_.addIoHandler(sync_handler_.get());
+  sim_.addIoHandler(bridge_.get());
+  sim_.setCycleHook([this] {
+    bridge_->setEdge(sync_->tickVliwCycle());
+  });
+}
+
+RunResult EmulationPlatform::run() {
+  RunResult r;
+  r.state = sim_.run(config_.max_cycles);
+  r.vliw_cycles = sim_.stats().cycles;
+  r.generated_cycles = sync_->totalGenerated();
+  r.sync_stall_cycles = sim_.stats().stall_cycles;
+  r.correction_cycles = sync_->correctionTotal();
+  return r;
+}
+
+ReferenceBoard::ReferenceBoard(const arch::ArchDescription& desc,
+                               const elf::Object& object,
+                               iss::IssConfig config) {
+  const MemRegion* io = desc.memory_map.findNamed("io");
+  CABT_CHECK(io != nullptr, "architecture has no 'io' region");
+  board_ = std::make_unique<soc::StandardPeripherals>(io->base);
+  iss_ = std::make_unique<iss::Iss>(desc, object, &board_->bus, config);
+}
+
+bool valuesMatch(const arch::ArchDescription& desc, uint32_t iss_value,
+                 uint32_t platform_value) {
+  if (iss_value == platform_value) {
+    return true;
+  }
+  const MemRegion* region = desc.memory_map.find(iss_value);
+  return region != nullptr && region->remap(iss_value) == platform_value;
+}
+
+std::string compareFinalState(const arch::ArchDescription& desc,
+                              const iss::Iss& reference,
+                              const EmulationPlatform& platform,
+                              const elf::Object& source_object) {
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t want = reference.d(i);
+    const uint32_t got = platform.srcD(i);
+    if (!valuesMatch(desc, want, got)) {
+      return "d" + std::to_string(i) + ": reference " + hex32(want) +
+             " vs platform " + hex32(got);
+    }
+  }
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t want = reference.a(i);
+    const uint32_t got = platform.srcA(i);
+    if (!valuesMatch(desc, want, got)) {
+      return "a" + std::to_string(i) + ": reference " + hex32(want) +
+             " vs platform " + hex32(got);
+    }
+  }
+  // Compare writable memory over the source image's data/bss sections, at
+  // their remapped target locations.
+  for (const elf::Section& s : source_object.sections) {
+    if (!s.writable) {
+      continue;
+    }
+    const MemRegion* region = desc.memory_map.find(s.addr);
+    for (uint32_t off = 0; off < s.sizeInMemory(); ++off) {
+      const uint32_t src_addr = s.addr + off;
+      const uint32_t tgt_addr =
+          region != nullptr ? region->remap(src_addr) : src_addr;
+      const uint8_t want = reference.memory().read8(src_addr);
+      const uint8_t got = platform.sim().memory().read8(tgt_addr);
+      if (want != got) {
+        return "memory " + s.name + "+" + std::to_string(off) +
+               " (src " + hex32(src_addr) + "): reference " +
+               std::to_string(want) + " vs platform " + std::to_string(got);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace cabt::platform

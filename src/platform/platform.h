@@ -1,0 +1,181 @@
+// The emulation platform (paper section 1): the V6X VLIW processor next
+// to the "FPGA" hardware — the synchronization device that generates SoC
+// clock cycles for the attached hardware, and the bus interface that
+// adapts VLIW accesses to the SoC bus of the emulated processor core.
+//
+// Also provides the reference board (ISS + same peripherals) and the
+// state-comparison helpers used by the equivalence tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/arch.h"
+#include "elf/elf.h"
+#include "iss/iss.h"
+#include "soc/standard_board.h"
+#include "soc/sync_device.h"
+#include "vliw/sim.h"
+#include "xlat/regmap.h"
+
+namespace cabt::platform {
+
+struct PlatformConfig {
+  /// VLIW clock cycles per generated SoC cycle (the FPGA generation rate).
+  unsigned vliw_cycles_per_soc_cycle = 1;
+  uint64_t vliw_clock_hz = 200'000'000;
+  uint64_t max_cycles = 4'000'000'000ull;
+};
+
+/// Memory-mapped synchronization device front end for the V6X core.
+class SyncHandler : public vliw::IoHandler {
+ public:
+  explicit SyncHandler(soc::SyncDevice* sync) : sync_(sync) {}
+
+  [[nodiscard]] bool covers(uint32_t addr) const override {
+    return addr >= xlat::kSyncDeviceBase &&
+           addr < xlat::kSyncDeviceBase + soc::SyncDevice::kWindowSize;
+  }
+  bool ready(uint32_t addr, bool is_write) override {
+    // Reading the status register waits for the end of cycle generation.
+    if (!is_write &&
+        addr == xlat::kSyncDeviceBase + soc::SyncDevice::kStatusOffset) {
+      return !sync_->busy();
+    }
+    return true;
+  }
+  uint32_t load(uint32_t addr, unsigned) override {
+    switch (addr - xlat::kSyncDeviceBase) {
+      case soc::SyncDevice::kStatusOffset:
+        return 0;  // only readable when idle
+      case soc::SyncDevice::kTotalOffset:
+        return static_cast<uint32_t>(sync_->totalGenerated());
+      default:
+        CABT_FAIL("sync device read at bad offset");
+    }
+  }
+  void store(uint32_t addr, uint32_t value, unsigned) override {
+    switch (addr - xlat::kSyncDeviceBase) {
+      case soc::SyncDevice::kStartOffset:
+        sync_->start(value);
+        break;
+      case soc::SyncDevice::kCorrectOffset:
+        sync_->correct(value);
+        break;
+      default:
+        CABT_FAIL("sync device write at bad offset");
+    }
+  }
+
+ private:
+  soc::SyncDevice* sync_;
+};
+
+/// Bus interface between the V6X core and the SoC bus (identity-mapped
+/// over the source I/O region). While cycle generation is active, an
+/// access completes on the next generated SoC edge (bus handshake in the
+/// emulated clock domain); when generation is idle it completes
+/// immediately at the current SoC time.
+class BridgeHandler : public vliw::IoHandler {
+ public:
+  BridgeHandler(soc::SocBus* bus, soc::SyncDevice* sync, uint32_t io_base,
+                uint32_t io_size)
+      : bus_(bus), sync_(sync), io_base_(io_base), io_size_(io_size) {}
+
+  [[nodiscard]] bool covers(uint32_t addr) const override {
+    return addr >= io_base_ && addr - io_base_ < io_size_;
+  }
+  bool ready(uint32_t, bool) override {
+    return !sync_->busy() || edge_this_cycle_;
+  }
+  uint32_t load(uint32_t addr, unsigned size) override {
+    return bus_->read(addr, size);
+  }
+  void store(uint32_t addr, uint32_t value, unsigned size) override {
+    bus_->write(addr, value, size);
+  }
+
+  void setEdge(bool edge) { edge_this_cycle_ = edge; }
+
+ private:
+  soc::SocBus* bus_;
+  soc::SyncDevice* sync_;
+  uint32_t io_base_;
+  uint32_t io_size_;
+  bool edge_this_cycle_ = false;
+};
+
+struct RunResult {
+  vliw::RunState state = vliw::RunState::kRunning;
+  uint64_t vliw_cycles = 0;
+  uint64_t generated_cycles = 0;  ///< SoC cycles emitted by the sync device
+  uint64_t sync_stall_cycles = 0;
+  uint64_t correction_cycles = 0;
+};
+
+/// The assembled platform: VLIW simulator + sync device + bus bridge +
+/// standard peripherals.
+class EmulationPlatform {
+ public:
+  EmulationPlatform(const arch::ArchDescription& desc,
+                    const elf::Object& image, PlatformConfig config = {});
+
+  RunResult run();
+
+  [[nodiscard]] vliw::V6xSim& sim() { return sim_; }
+  [[nodiscard]] const vliw::V6xSim& sim() const { return sim_; }
+  [[nodiscard]] soc::SyncDevice& sync() { return *sync_; }
+  [[nodiscard]] soc::StandardPeripherals& board() { return *board_; }
+  [[nodiscard]] const PlatformConfig& config() const { return config_; }
+
+  /// Reads the V6X register holding source data register Di.
+  [[nodiscard]] uint32_t srcD(int i) const {
+    return sim_.reg(xlat::srcD(i));
+  }
+  /// Reads the V6X register holding source address register Ai.
+  [[nodiscard]] uint32_t srcA(int i) const {
+    return sim_.reg(xlat::srcA(i));
+  }
+
+ private:
+  PlatformConfig config_;
+  std::unique_ptr<soc::StandardPeripherals> board_;
+  std::unique_ptr<soc::SyncDevice> sync_;
+  std::unique_ptr<SyncHandler> sync_handler_;
+  std::unique_ptr<BridgeHandler> bridge_;
+  vliw::V6xSim sim_;
+};
+
+/// The reference board: the ISS with the same peripherals, used as ground
+/// truth for instruction counts, cycle counts and final state.
+class ReferenceBoard {
+ public:
+  ReferenceBoard(const arch::ArchDescription& desc, const elf::Object& object,
+                 iss::IssConfig config = {});
+
+  iss::StopReason run() { return iss_->run(); }
+
+  [[nodiscard]] iss::Iss& iss() { return *iss_; }
+  [[nodiscard]] const iss::Iss& iss() const { return *iss_; }
+  [[nodiscard]] soc::StandardPeripherals& board() { return *board_; }
+
+ private:
+  std::unique_ptr<soc::StandardPeripherals> board_;
+  std::unique_ptr<iss::Iss> iss_;
+};
+
+/// Remap-aware equality of an ISS value and a platform value: equal, or
+/// the platform value is the remapped image of a source-region pointer.
+bool valuesMatch(const arch::ArchDescription& desc, uint32_t iss_value,
+                 uint32_t platform_value);
+
+/// Compares the full architectural state (data registers, address
+/// registers, remapped memory) after both sides halted. Returns a
+/// human-readable description of the first mismatch, or an empty string.
+std::string compareFinalState(const arch::ArchDescription& desc,
+                              const iss::Iss& reference,
+                              const EmulationPlatform& platform,
+                              const elf::Object& source_object);
+
+}  // namespace cabt::platform

@@ -1,0 +1,323 @@
+#include "rtlsim/rtlsim.h"
+
+#include "common/bits.h"
+#include "common/strutil.h"
+#include "trc/program.h"
+
+namespace cabt::rtlsim {
+namespace {
+
+using arch::OpClass;
+using trc::Instr;
+using trc::Opc;
+
+/// Signal ids for the waveform trace.
+enum Signal : uint16_t {
+  kSigPc = 1,
+  kSigFetchWord,
+  kSigIssueOp,
+  kSigOperandA,
+  kSigOperandB,
+  kSigAluResult,
+  kSigMemAddr,
+  kSigMemData,
+  kSigRegWrite,
+  kSigBranchTaken,
+  kSigCacheTag0,
+  kSigCacheTag1,
+  kSigCacheHit,
+  kSigPair,
+};
+
+}  // namespace
+
+RtlCore::RtlCore(const arch::ArchDescription& desc, const elf::Object& object)
+    : desc_(desc), decoded_(trc::decodeText(object)) {
+  icache_ = arch::ICacheState(desc_.icache);
+  leaders_ = trc::findLeaders(object, decoded_);
+  for (size_t i = 0; i < decoded_.size(); ++i) {
+    by_addr_.emplace(decoded_[i].addr, i);
+  }
+  for (const elf::Section& s : object.sections) {
+    if (s.kind == elf::SectionKind::kProgbits) {
+      mem_.writeBlock(s.addr, s.data.data(), s.data.size());
+    }
+  }
+  pc_ = object.entry;
+}
+
+const Instr* RtlCore::fetch(uint32_t addr) const {
+  const auto it = by_addr_.find(addr);
+  return it == by_addr_.end() ? nullptr : &decoded_[it->second];
+}
+
+bool RtlCore::operandsReady(const Instr& instr) const {
+  const arch::TimedOp t = instr.timedOp();
+  const uint64_t now = stats_.cycles;
+  const auto ready = [&](int r) {
+    return r == arch::TimedOp::kNoReg || ready_[r] <= now;
+  };
+  return ready(t.src1) && ready(t.src2);
+}
+
+void RtlCore::executeInstr(const Instr& in, bool* redirected) {
+  const auto rd = [&](int i) { return d_[i]; };
+  const auto ra = [&](int i) { return a_[i]; };
+  const uint32_t imm = static_cast<uint32_t>(in.imm);
+  uint32_t next_pc = in.addr + in.size;
+  *redirected = false;
+
+  const auto setD = [&](int i, uint32_t v) {
+    d_[i] = v;
+    trace(kSigRegWrite, v);
+  };
+  const auto setA = [&](int i, uint32_t v) {
+    a_[i] = v;
+    trace(kSigRegWrite, v);
+  };
+  const auto load = [&](unsigned size, bool sign) {
+    const uint32_t addr = ra(in.ra) + imm;
+    trace(kSigMemAddr, addr);
+    uint32_t v = mem_.read(addr, size);
+    if (sign && size < 4) {
+      v = static_cast<uint32_t>(signExtend(v, size * 8));
+    }
+    trace(kSigMemData, v);
+    return v;
+  };
+  const auto store = [&](unsigned size, uint32_t v) {
+    const uint32_t addr = ra(in.ra) + imm;
+    trace(kSigMemAddr, addr);
+    trace(kSigMemData, v);
+    mem_.write(addr, v, size);
+  };
+  const auto branch = [&](bool taken) {
+    trace(kSigBranchTaken, taken ? 1 : 0);
+    const bool predicted = arch::BranchModel::predictsTaken(in.imm);
+    const unsigned extra = desc_.branch.conditionalExtra(predicted, taken);
+    branch_wait_ = extra;
+    if (taken) {
+      next_pc = in.branchTarget();
+    }
+    *redirected = true;
+  };
+  const auto uncond = [&](uint32_t target) {
+    trace(kSigBranchTaken, 1);
+    branch_wait_ = desc_.branch.unconditionalExtra(in.cls());
+    next_pc = target;
+    *redirected = true;
+  };
+
+  trace(kSigIssueOp, static_cast<uint32_t>(in.opc));
+  if (in.info().fmt == trc::Format::kRRR) {
+    trace(kSigOperandA, rd(in.ra));
+    trace(kSigOperandB, rd(in.rb));
+  }
+
+  switch (in.opc) {
+    case Opc::kAdd: setD(in.rd, rd(in.ra) + rd(in.rb)); break;
+    case Opc::kSub: setD(in.rd, rd(in.ra) - rd(in.rb)); break;
+    case Opc::kAnd: setD(in.rd, rd(in.ra) & rd(in.rb)); break;
+    case Opc::kOr: setD(in.rd, rd(in.ra) | rd(in.rb)); break;
+    case Opc::kXor: setD(in.rd, rd(in.ra) ^ rd(in.rb)); break;
+    case Opc::kShl: setD(in.rd, rd(in.ra) << (rd(in.rb) & 31)); break;
+    case Opc::kShr: setD(in.rd, rd(in.ra) >> (rd(in.rb) & 31)); break;
+    case Opc::kSar:
+      setD(in.rd, static_cast<uint32_t>(static_cast<int32_t>(rd(in.ra)) >>
+                                        (rd(in.rb) & 31)));
+      break;
+    case Opc::kMul: setD(in.rd, rd(in.ra) * rd(in.rb)); break;
+    case Opc::kEq: setD(in.rd, rd(in.ra) == rd(in.rb) ? 1 : 0); break;
+    case Opc::kNe: setD(in.rd, rd(in.ra) != rd(in.rb) ? 1 : 0); break;
+    case Opc::kLt:
+      setD(in.rd, static_cast<int32_t>(rd(in.ra)) <
+                          static_cast<int32_t>(rd(in.rb))
+                      ? 1
+                      : 0);
+      break;
+    case Opc::kGe:
+      setD(in.rd, static_cast<int32_t>(rd(in.ra)) >=
+                          static_cast<int32_t>(rd(in.rb))
+                      ? 1
+                      : 0);
+      break;
+    case Opc::kLtu: setD(in.rd, rd(in.ra) < rd(in.rb) ? 1 : 0); break;
+    case Opc::kGeu: setD(in.rd, rd(in.ra) >= rd(in.rb) ? 1 : 0); break;
+    case Opc::kAddi: setD(in.rd, rd(in.ra) + imm); break;
+    case Opc::kMovi: setD(in.rd, imm); break;
+    case Opc::kMovh: setD(in.rd, imm << 16); break;
+    case Opc::kMova: setA(in.rd, rd(in.ra)); break;
+    case Opc::kMovd: setD(in.rd, ra(in.ra)); break;
+    case Opc::kLea: setA(in.rd, ra(in.ra) + imm); break;
+    case Opc::kMovha: setA(in.rd, imm << 16); break;
+    case Opc::kAdda: setA(in.rd, ra(in.ra) + ra(in.rb)); break;
+    case Opc::kSuba: setA(in.rd, ra(in.ra) - ra(in.rb)); break;
+    case Opc::kLdw: setD(in.rd, load(4, false)); break;
+    case Opc::kLdh: setD(in.rd, load(2, true)); break;
+    case Opc::kLdhu: setD(in.rd, load(2, false)); break;
+    case Opc::kLdb: setD(in.rd, load(1, true)); break;
+    case Opc::kLdbu: setD(in.rd, load(1, false)); break;
+    case Opc::kLda: setA(in.rd, load(4, false)); break;
+    case Opc::kStw: store(4, rd(in.rd)); break;
+    case Opc::kSth: store(2, rd(in.rd)); break;
+    case Opc::kStb: store(1, rd(in.rd)); break;
+    case Opc::kSta: store(4, ra(in.rd)); break;
+    case Opc::kJ:
+    case Opc::kJ16: uncond(in.branchTarget()); break;
+    case Opc::kJl:
+      setA(trc::kLinkRegister, in.addr + in.size);
+      uncond(in.branchTarget());
+      break;
+    case Opc::kJi: uncond(ra(in.ra)); break;
+    case Opc::kRet16: uncond(ra(trc::kLinkRegister)); break;
+    case Opc::kJeq: branch(rd(in.ra) == rd(in.rb)); break;
+    case Opc::kJne: branch(rd(in.ra) != rd(in.rb)); break;
+    case Opc::kJlt:
+      branch(static_cast<int32_t>(rd(in.ra)) <
+             static_cast<int32_t>(rd(in.rb)));
+      break;
+    case Opc::kJge:
+      branch(static_cast<int32_t>(rd(in.ra)) >=
+             static_cast<int32_t>(rd(in.rb)));
+      break;
+    case Opc::kJltu: branch(rd(in.ra) < rd(in.rb)); break;
+    case Opc::kJgeu: branch(rd(in.ra) >= rd(in.rb)); break;
+    case Opc::kJnz16: branch(rd(in.rd) != 0); break;
+    case Opc::kJz16: branch(rd(in.rd) == 0); break;
+    case Opc::kNop:
+    case Opc::kNop16:
+    case Opc::kBkpt:
+      break;
+    case Opc::kHalt:
+      halted_ = true;
+      break;
+    case Opc::kMov16: setD(in.rd, rd(in.rb)); break;
+    case Opc::kAdd16: setD(in.rd, rd(in.rd) + rd(in.rb)); break;
+    case Opc::kSub16: setD(in.rd, rd(in.rd) - rd(in.rb)); break;
+    case Opc::kMovi16: setD(in.rd, imm); break;
+    case Opc::kAddi16: setD(in.rd, rd(in.rd) + imm); break;
+    default:
+      CABT_FAIL("unhandled opcode in RTL model");
+  }
+
+  const arch::TimedOp t = in.timedOp();
+  if (t.dst != arch::TimedOp::kNoReg) {
+    ready_[t.dst] = stats_.cycles + desc_.pipeline.resultLatency(t.cls);
+  }
+  ++stats_.instructions;
+  if (!*redirected) {
+    pc_ = next_pc;
+    if (leaders_.count(next_pc) != 0) {
+      needs_drain_ = true;
+    }
+  } else {
+    pc_ = next_pc;
+    needs_drain_ = true;
+  }
+}
+
+bool RtlCore::clockCycle() {
+  if (halted_) {
+    return false;
+  }
+  ++stats_.cycles;
+  trace(kSigPc, pc_);
+
+  if (icache_wait_ > 0) {
+    --icache_wait_;
+    ++stats_.icache_wait_cycles;
+    return true;
+  }
+  if (branch_wait_ > 0) {
+    --branch_wait_;
+    ++stats_.branch_penalty_cycles;
+    return true;
+  }
+
+  if (needs_drain_) {
+    // Pipeline drain at a basic-block boundary: the fetch buffer realigns
+    // and all in-flight results are considered committed.
+    ready_.fill(0);
+    have_line_ = false;
+    needs_drain_ = false;
+  }
+
+  const Instr* instr = fetch(pc_);
+  CABT_CHECK(instr != nullptr, "RTL fetch from " << hex32(pc_));
+  trace(kSigFetchWord, mem_.read32(instr->addr));
+
+  if (desc_.icache.enabled) {
+    const uint32_t line = desc_.icache.lineOf(pc_);
+    if (!have_line_ || line != last_line_) {
+      have_line_ = true;
+      last_line_ = line;
+      const uint32_t set = desc_.icache.setOf(pc_);
+      trace(kSigCacheTag0, icache_.tagEntry(set, 0));
+      if (desc_.icache.ways > 1) {
+        trace(kSigCacheTag1, icache_.tagEntry(set, 1));
+      }
+      const bool hit = icache_.access(pc_);
+      trace(kSigCacheHit, hit ? 1 : 0);
+      if (!hit) {
+        // This cycle is the first of the miss wait. The refill freezes
+        // the whole pipeline (the architecture description defines the
+        // miss penalty as additive to the issue schedule), so in-flight
+        // result latencies freeze with it.
+        icache_wait_ = desc_.icache.miss_penalty - 1;
+        ++stats_.icache_wait_cycles;
+        for (uint64_t& r : ready_) {
+          if (r > stats_.cycles) {
+            r += desc_.icache.miss_penalty;
+          }
+        }
+        return true;
+      }
+    }
+  }
+
+  if (!operandsReady(*instr)) {
+    ++stats_.issue_stall_cycles;
+    return true;
+  }
+
+  bool redirected = false;
+  executeInstr(*instr, &redirected);
+  if (halted_ || redirected) {
+    return !halted_;
+  }
+
+  // Dual-issue: an IP instruction pairs with an immediately following LS
+  // instruction of the same block when its operands are ready and there
+  // is no same-cycle forwarding or double write.
+  if (desc_.pipeline.dual_issue &&
+      arch::pipeOf(instr->cls()) == arch::Pipe::kIp &&
+      !instr->isControlTransfer()) {
+    const Instr* second = fetch(pc_);
+    if (second != nullptr && leaders_.count(pc_) == 0 &&
+        arch::pipeOf(second->cls()) == arch::Pipe::kLs &&
+        operandsReady(*second)) {
+      const arch::TimedOp t1 = instr->timedOp();
+      const arch::TimedOp t2 = second->timedOp();
+      const bool reads_dst =
+          t1.dst != arch::TimedOp::kNoReg &&
+          (t2.src1 == t1.dst || t2.src2 == t1.dst);
+      const bool waw =
+          t1.dst != arch::TimedOp::kNoReg && t2.dst == t1.dst;
+      if (!reads_dst && !waw) {
+        trace(kSigPair, 1);
+        ++stats_.dual_issues;
+        bool redirected2 = false;
+        executeInstr(*second, &redirected2);
+      }
+    }
+  }
+  return !halted_;
+}
+
+void RtlCore::run(uint64_t max_cycles) {
+  for (uint64_t i = 0; i < max_cycles && clockCycle(); ++i) {
+  }
+  CABT_CHECK(halted_, "RTL model hit the cycle limit");
+}
+
+}  // namespace cabt::rtlsim

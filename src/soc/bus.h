@@ -1,0 +1,96 @@
+// SoC bus model: address-windowed devices, a cycle counter driven by the
+// clock source (processor or synchronization device), and a transaction
+// log that tests use to check cycle-accurate I/O behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/strutil.h"
+#include "soc/device.h"
+
+namespace cabt::soc {
+
+/// One logged bus transaction.
+struct Transaction {
+  uint64_t soc_cycle = 0;
+  uint32_t addr = 0;
+  uint32_t value = 0;
+  uint8_t size = 4;
+  bool is_write = false;
+};
+
+class SocBus {
+ public:
+  /// Maps `device` at [base, base+size). The bus does not own devices.
+  void attach(Device* device, uint32_t base, uint32_t size) {
+    CABT_CHECK(device != nullptr, "null device");
+    for (const Window& w : windows_) {
+      const bool disjoint =
+          base + (size - 1) < w.base || w.base + (w.size - 1) < base;
+      CABT_CHECK(disjoint, "device window for '" << device->name()
+                                                 << "' overlaps '"
+                                                 << w.device->name() << "'");
+    }
+    windows_.push_back({device, base, size});
+  }
+
+  [[nodiscard]] bool covers(uint32_t addr) const {
+    return findWindow(addr) != nullptr;
+  }
+
+  /// One SoC clock edge; advances the bus cycle counter and clocks all
+  /// devices.
+  void clockCycle() {
+    ++soc_cycle_;
+    for (const Window& w : windows_) {
+      w.device->clockCycle(soc_cycle_);
+    }
+  }
+
+  [[nodiscard]] uint64_t socCycle() const { return soc_cycle_; }
+
+  uint32_t read(uint32_t addr, unsigned size) {
+    const Window* w = findWindow(addr);
+    CABT_CHECK(w != nullptr, "bus read from unmapped address " << hex32(addr));
+    const uint32_t value = w->device->read(addr - w->base, size, soc_cycle_);
+    log_.push_back({soc_cycle_, addr, value, static_cast<uint8_t>(size),
+                    false});
+    return value;
+  }
+
+  void write(uint32_t addr, uint32_t value, unsigned size) {
+    const Window* w = findWindow(addr);
+    CABT_CHECK(w != nullptr, "bus write to unmapped address " << hex32(addr));
+    w->device->write(addr - w->base, value, size, soc_cycle_);
+    log_.push_back({soc_cycle_, addr, value, static_cast<uint8_t>(size),
+                    true});
+  }
+
+  [[nodiscard]] const std::vector<Transaction>& log() const { return log_; }
+  void clearLog() { log_.clear(); }
+
+ private:
+  struct Window {
+    Device* device;
+    uint32_t base;
+    uint32_t size;
+  };
+
+  [[nodiscard]] const Window* findWindow(uint32_t addr) const {
+    for (const Window& w : windows_) {
+      if (addr >= w.base && addr - w.base < w.size) {
+        return &w;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Window> windows_;
+  std::vector<Transaction> log_;
+  uint64_t soc_cycle_ = 0;
+};
+
+}  // namespace cabt::soc

@@ -1,0 +1,39 @@
+// SoC-bus device interface.
+//
+// Devices are clocked exclusively by SoC clock cycles. On the reference
+// board those are processor cycles; on the emulation platform they are the
+// cycles produced by the synchronization device — which is exactly the
+// paper's point: the attached hardware cannot tell the difference as long
+// as the generated cycle stream is accurate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cabt::soc {
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Read `size` bytes (1, 2 or 4) at byte offset `offset` within the
+  /// device window. `soc_cycle` is the bus timestamp of the transaction.
+  virtual uint32_t read(uint32_t offset, unsigned size, uint64_t soc_cycle) = 0;
+
+  /// Write access, same conventions as read().
+  virtual void write(uint32_t offset, uint32_t value, unsigned size,
+                     uint64_t soc_cycle) = 0;
+
+  /// One SoC clock edge.
+  virtual void clockCycle(uint64_t soc_cycle) { (void)soc_cycle; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace cabt::soc

@@ -1,0 +1,110 @@
+// Standard peripherals attached to the SoC bus in tests, examples and
+// benchmarks: a free-running timer, a character output device and a
+// scratch-register block. They are deliberately simple — their purpose is
+// to make cycle-accurate I/O behaviour observable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+#include "soc/device.h"
+
+namespace cabt::soc {
+
+/// Free-running SoC-cycle counter. Offset 0x0: low 32 bits; 0x4: high 32
+/// bits; 0x8 (write): reset.
+class TimerDevice : public Device {
+ public:
+  TimerDevice() : Device("timer") {}
+
+  uint32_t read(uint32_t offset, unsigned size, uint64_t) override {
+    CABT_CHECK(size == 4, "timer supports word access only");
+    switch (offset) {
+      case 0x0:
+        return static_cast<uint32_t>(count_);
+      case 0x4:
+        return static_cast<uint32_t>(count_ >> 32);
+      default:
+        CABT_FAIL("timer read at bad offset " << offset);
+    }
+  }
+
+  void write(uint32_t offset, uint32_t, unsigned size, uint64_t) override {
+    CABT_CHECK(size == 4 && offset == 0x8, "timer write only at offset 8");
+    count_ = 0;
+  }
+
+  void clockCycle(uint64_t) override { ++count_; }
+
+  [[nodiscard]] uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Character output. Offset 0x0 (write): emit one character; offset 0x4
+/// (read): number of characters emitted so far.
+class CharDevice : public Device {
+ public:
+  CharDevice() : Device("chardev") {}
+
+  uint32_t read(uint32_t offset, unsigned size, uint64_t) override {
+    CABT_CHECK(size == 4 && offset == 0x4, "chardev read only at offset 4");
+    return static_cast<uint32_t>(output_.size());
+  }
+
+  void write(uint32_t offset, uint32_t value, unsigned, uint64_t soc_cycle)
+      override {
+    CABT_CHECK(offset == 0x0, "chardev write only at offset 0");
+    output_.push_back(static_cast<char>(value & 0xff));
+    stamps_.push_back(soc_cycle);
+  }
+
+  [[nodiscard]] const std::string& output() const { return output_; }
+  /// SoC cycle at which each character was written.
+  [[nodiscard]] const std::vector<uint64_t>& stamps() const { return stamps_; }
+
+ private:
+  std::string output_;
+  std::vector<uint64_t> stamps_;
+};
+
+/// Sixteen general-purpose 32-bit scratch registers (offsets 0x0..0x3c).
+class ScratchDevice : public Device {
+ public:
+  ScratchDevice() : Device("scratch") {}
+
+  uint32_t read(uint32_t offset, unsigned size, uint64_t) override {
+    CABT_CHECK(size == 4 && offset % 4 == 0 && offset / 4 < regs_.size(),
+               "bad scratch read at offset " << offset);
+    return regs_[offset / 4];
+  }
+
+  void write(uint32_t offset, uint32_t value, unsigned size,
+             uint64_t) override {
+    CABT_CHECK(size == 4 && offset % 4 == 0 && offset / 4 < regs_.size(),
+               "bad scratch write at offset " << offset);
+    regs_[offset / 4] = value;
+  }
+
+  [[nodiscard]] uint32_t reg(size_t i) const { return regs_.at(i); }
+
+ private:
+  std::array<uint32_t, 16> regs_{};
+};
+
+/// Byte offsets of the standard peripherals within the I/O region; shared
+/// by the reference board and the emulation platform so that translated
+/// I/O accesses land on the same devices.
+struct StandardIoMap {
+  static constexpr uint32_t kTimerOffset = 0x100;
+  static constexpr uint32_t kTimerSize = 0x10;
+  static constexpr uint32_t kCharOffset = 0x200;
+  static constexpr uint32_t kCharSize = 0x10;
+  static constexpr uint32_t kScratchOffset = 0x300;
+  static constexpr uint32_t kScratchSize = 0x40;
+};
+
+}  // namespace cabt::soc

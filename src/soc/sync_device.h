@@ -1,0 +1,89 @@
+// The synchronization device (paper section 3.1).
+//
+// In the paper this device lives in the FPGAs next to the VLIW processor:
+// a write with the predicted cycle count n of a basic block starts the
+// generation of n SoC clock cycles for the attached hardware, which then
+// runs in parallel with the execution of the translated block; a read
+// from the status register waits until the generation has finished.
+// A second write port adds dynamically computed correction cycles
+// (branch prediction, instruction cache — paper section 3.4).
+//
+// Here the device drives the SocBus clock: every emitted cycle clocks all
+// attached peripherals.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "soc/bus.h"
+
+namespace cabt::soc {
+
+class SyncDevice {
+ public:
+  /// Register offsets within the device window (VLIW address space).
+  static constexpr uint32_t kStartOffset = 0x0;    ///< write: start n cycles
+  static constexpr uint32_t kStatusOffset = 0x4;   ///< read: 0 when idle
+  static constexpr uint32_t kCorrectOffset = 0x8;  ///< write: n extra cycles
+  static constexpr uint32_t kTotalOffset = 0xc;    ///< read: cycles emitted
+  static constexpr uint32_t kWindowSize = 0x10;
+
+  /// `vliw_cycles_per_soc_cycle` is the generation rate: how many VLIW
+  /// clock cycles one generated SoC cycle takes (>= 1).
+  SyncDevice(SocBus* bus, unsigned vliw_cycles_per_soc_cycle)
+      : bus_(bus), rate_(vliw_cycles_per_soc_cycle) {
+    CABT_CHECK(bus_ != nullptr, "sync device needs a bus");
+    CABT_CHECK(rate_ >= 1, "generation rate must be >= 1");
+  }
+
+  /// Starts generation of `n` further cycles (accumulates; the translated
+  /// code's wait instruction is what enforces block-level synchrony).
+  void start(uint32_t n) {
+    remaining_ += n;
+    ++num_starts_;
+  }
+
+  /// Adds dynamically computed correction cycles.
+  void correct(uint32_t n) {
+    remaining_ += n;
+    correction_total_ += n;
+    ++num_corrections_;
+  }
+
+  [[nodiscard]] bool busy() const { return remaining_ > 0; }
+
+  /// Advances the device by one VLIW clock cycle. Emits an SoC cycle every
+  /// `rate` VLIW cycles while generation is active. Returns true when an
+  /// SoC cycle was emitted in this tick.
+  bool tickVliwCycle() {
+    if (remaining_ == 0) {
+      return false;
+    }
+    if (++subcycle_ < rate_) {
+      return false;
+    }
+    subcycle_ = 0;
+    --remaining_;
+    ++total_generated_;
+    bus_->clockCycle();
+    return true;
+  }
+
+  [[nodiscard]] uint64_t totalGenerated() const { return total_generated_; }
+  [[nodiscard]] uint64_t remaining() const { return remaining_; }
+  [[nodiscard]] uint64_t numStarts() const { return num_starts_; }
+  [[nodiscard]] uint64_t numCorrections() const { return num_corrections_; }
+  [[nodiscard]] uint64_t correctionTotal() const { return correction_total_; }
+
+ private:
+  SocBus* bus_;
+  unsigned rate_;
+  unsigned subcycle_ = 0;
+  uint64_t remaining_ = 0;
+  uint64_t total_generated_ = 0;
+  uint64_t num_starts_ = 0;
+  uint64_t num_corrections_ = 0;
+  uint64_t correction_total_ = 0;
+};
+
+}  // namespace cabt::soc

@@ -1,0 +1,650 @@
+#include "trc/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/error.h"
+#include "common/strutil.h"
+#include "trc/isa.h"
+
+namespace cabt::trc {
+namespace {
+
+enum class SectionId { kText, kData, kBss };
+
+struct Statement {
+  int line = 0;
+  SectionId section = SectionId::kText;
+  uint32_t offset = 0;  ///< offset within its section
+  bool is_directive = false;
+  std::string head;                       ///< mnemonic or directive name
+  std::vector<std::string> operands;      ///< raw operand strings
+  uint32_t size = 0;
+};
+
+struct MemOperand {
+  uint8_t base = 0;
+  std::string offset_expr;  ///< may be empty (offset 0)
+};
+
+/// Parses "d7" / "a11" style register names; returns bank+number.
+std::optional<std::pair<char, uint8_t>> parseReg(std::string_view s) {
+  if (s.size() < 2 || s.size() > 3) {
+    return std::nullopt;
+  }
+  const char bank = static_cast<char>(std::tolower(s[0]));
+  if (bank != 'd' && bank != 'a') {
+    return std::nullopt;
+  }
+  int n = 0;
+  for (char c : s.substr(1)) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    n = n * 10 + (c - '0');
+  }
+  if (n > 15) {
+    return std::nullopt;
+  }
+  return std::make_pair(bank, static_cast<uint8_t>(n));
+}
+
+class Assembler {
+ public:
+  explicit Assembler(const AsmOptions& opts) : opts_(opts) {}
+
+  elf::Object run(std::string_view source) {
+    parse(source);
+    layout();
+    emit();
+    return finish();
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) const {
+    throw Error("assembler: line " + std::to_string(line) + ": " + msg);
+  }
+
+  // ---- pass 1: parse + size -------------------------------------------
+
+  void parse(std::string_view source) {
+    int line_no = 0;
+    SectionId section = SectionId::kText;
+    for (std::string_view raw : split(source, '\n')) {
+      ++line_no;
+      // Strip comments (';' or '#'), but not inside string literals.
+      std::string_view line = raw;
+      bool in_str = false;
+      for (size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"') {
+          in_str = !in_str;
+        } else if (!in_str && (line[i] == ';' || line[i] == '#')) {
+          line = line.substr(0, i);
+          break;
+        }
+      }
+      line = trim(line);
+      // Leading labels (possibly several).
+      while (true) {
+        const size_t colon = line.find(':');
+        if (colon == std::string_view::npos) {
+          break;
+        }
+        const std::string_view label = trim(line.substr(0, colon));
+        if (!isIdentifier(label)) {
+          break;  // not a label - e.g. ':' inside an operand (none today)
+        }
+        pending_labels_.emplace_back(std::string(label), line_no);
+        line = trim(line.substr(colon + 1));
+      }
+      if (line.empty()) {
+        continue;
+      }
+
+      Statement st;
+      st.line = line_no;
+      st.section = section;
+      const size_t sp = line.find_first_of(" \t");
+      st.head = toLower(sp == std::string_view::npos ? line
+                                                     : line.substr(0, sp));
+      const std::string_view rest =
+          sp == std::string_view::npos ? std::string_view{}
+                                       : trim(line.substr(sp + 1));
+      st.is_directive = st.head.front() == '.';
+
+      if (st.is_directive) {
+        if (st.head == ".text") {
+          section = SectionId::kText;
+          attachLabels(section);
+          continue;
+        }
+        if (st.head == ".data") {
+          section = SectionId::kData;
+          attachLabels(section);
+          continue;
+        }
+        if (st.head == ".bss") {
+          section = SectionId::kBss;
+          attachLabels(section);
+          continue;
+        }
+        if (st.head == ".ascii") {
+          st.operands.emplace_back(rest);
+        } else {
+          for (std::string_view op : splitOperands(rest)) {
+            st.operands.emplace_back(op);
+          }
+        }
+        st.size = directiveSize(st, sectionOffset(section));
+        if (st.head == ".global") {
+          continue;  // accepted for compatibility; all labels are global
+        }
+      } else {
+        for (std::string_view op : splitOperands(rest)) {
+          st.operands.emplace_back(op);
+        }
+        const OpInfo* info = opInfoByMnemonic(st.head);
+        if (info == nullptr) {
+          fail(line_no, "unknown mnemonic '" + st.head + "'");
+        }
+        st.size = is16Bit(info->opc) ? 2 : 4;
+        if (section != SectionId::kText) {
+          fail(line_no, "instruction outside .text");
+        }
+      }
+      attachLabels(section);
+      st.offset = sectionOffset(section);
+      sectionOffset(section) += st.size;
+      statements_.push_back(std::move(st));
+    }
+    attachLabels(section);
+  }
+
+  uint32_t& sectionOffset(SectionId s) {
+    return offsets_[static_cast<size_t>(s)];
+  }
+
+  void attachLabels(SectionId section) {
+    for (auto& [name, line] : pending_labels_) {
+      if (labels_.count(name) != 0) {
+        fail(line, "duplicate label '" + name + "'");
+      }
+      labels_[name] = {section, sectionOffset(section)};
+    }
+    pending_labels_.clear();
+  }
+
+  uint32_t directiveSize(const Statement& st, uint32_t offset) {
+    if (st.head == ".word") {
+      return 4 * static_cast<uint32_t>(st.operands.size());
+    }
+    if (st.head == ".half") {
+      return 2 * static_cast<uint32_t>(st.operands.size());
+    }
+    if (st.head == ".byte") {
+      return static_cast<uint32_t>(st.operands.size());
+    }
+    if (st.head == ".space") {
+      if (st.operands.size() != 1) {
+        fail(st.line, ".space needs one operand");
+      }
+      return static_cast<uint32_t>(parseInt(st.operands[0]));
+    }
+    if (st.head == ".align") {
+      if (st.operands.size() != 1) {
+        fail(st.line, ".align needs one operand");
+      }
+      const auto align = static_cast<uint32_t>(parseInt(st.operands[0]));
+      if (!isPowerOfTwo(align)) {
+        fail(st.line, ".align operand must be a power of two");
+      }
+      return alignUp(offset, align) - offset;
+    }
+    if (st.head == ".ascii") {
+      return static_cast<uint32_t>(parseStringLiteral(st).size());
+    }
+    if (st.head == ".global") {
+      return 0;
+    }
+    fail(st.line, "unknown directive '" + st.head + "'");
+  }
+
+  std::string parseStringLiteral(const Statement& st) const {
+    if (st.operands.size() != 1) {
+      fail(st.line, ".ascii needs one string operand");
+    }
+    std::string_view s = trim(st.operands[0]);
+    if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+      fail(st.line, ".ascii operand must be a double-quoted string");
+    }
+    s = s.substr(1, s.size() - 2);
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case '0': out.push_back('\0'); break;
+          case '\\': out.push_back('\\'); break;
+          case '"': out.push_back('"'); break;
+          default: fail(st.line, "unknown escape in string");
+        }
+      } else {
+        out.push_back(s[i]);
+      }
+    }
+    return out;
+  }
+
+  // ---- layout ----------------------------------------------------------
+
+  void layout() {
+    text_base_ = opts_.text_base;
+    data_base_ = opts_.data_base;
+    bss_base_ = alignUp(data_base_ + sectionOffset(SectionId::kData), 16);
+  }
+
+  uint32_t sectionBase(SectionId s) const {
+    switch (s) {
+      case SectionId::kText: return text_base_;
+      case SectionId::kData: return data_base_;
+      case SectionId::kBss: return bss_base_;
+    }
+    CABT_FAIL("bad section");
+  }
+
+  uint32_t labelAddress(const std::string& name, int line) const {
+    const auto it = labels_.find(name);
+    if (it == labels_.end()) {
+      fail(line, "undefined symbol '" + name + "'");
+    }
+    return sectionBase(it->second.first) + it->second.second;
+  }
+
+  // ---- expressions -----------------------------------------------------
+
+  int64_t evalExpr(std::string_view expr, int line) const {
+    size_t pos = 0;
+    const int64_t v = evalSum(expr, pos, line);
+    if (pos != expr.size()) {
+      fail(line, "trailing characters in expression '" + std::string(expr) +
+                     "'");
+    }
+    return v;
+  }
+
+  int64_t evalSum(std::string_view e, size_t& pos, int line) const {
+    int64_t v = evalPrimary(e, pos, line);
+    for (;;) {
+      skipSpace(e, pos);
+      if (pos < e.size() && (e[pos] == '+' || e[pos] == '-')) {
+        const char op = e[pos++];
+        const int64_t rhs = evalPrimary(e, pos, line);
+        v = op == '+' ? v + rhs : v - rhs;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  static void skipSpace(std::string_view e, size_t& pos) {
+    while (pos < e.size() &&
+           std::isspace(static_cast<unsigned char>(e[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  int64_t evalPrimary(std::string_view e, size_t& pos, int line) const {
+    skipSpace(e, pos);
+    if (pos >= e.size()) {
+      fail(line, "expected expression");
+    }
+    if (e[pos] == '-' || std::isdigit(static_cast<unsigned char>(e[pos]))) {
+      size_t end = pos + 1;
+      while (end < e.size() &&
+             (std::isalnum(static_cast<unsigned char>(e[end])) != 0 ||
+              e[end] == '_')) {
+        ++end;
+      }
+      const int64_t v = parseInt(e.substr(pos, end - pos));
+      pos = end;
+      return v;
+    }
+    // identifier, or hi(...)/lo(...)
+    size_t end = pos;
+    while (end < e.size() &&
+           (std::isalnum(static_cast<unsigned char>(e[end])) != 0 ||
+            e[end] == '_' || e[end] == '.')) {
+      ++end;
+    }
+    const std::string name = toLower(e.substr(pos, end - pos));
+    size_t after = end;
+    skipSpace(e, after);
+    if ((name == "hi" || name == "lo") && after < e.size() &&
+        e[after] == '(') {
+      pos = after + 1;
+      const int64_t inner = evalSum(e, pos, line);
+      skipSpace(e, pos);
+      if (pos >= e.size() || e[pos] != ')') {
+        fail(line, "missing ')' in " + name + "()");
+      }
+      ++pos;
+      const auto v = static_cast<uint32_t>(inner);
+      return name == "hi" ? static_cast<int64_t>(hi16(v))
+                          : static_cast<int64_t>(lo16(v));
+    }
+    const std::string ident(trim(e.substr(pos, end - pos)));
+    pos = end;
+    return labelAddress(ident, line);
+  }
+
+  // ---- pass 2: emit ----------------------------------------------------
+
+  void emit() {
+    text_.clear();
+    data_.clear();
+    for (const Statement& st : statements_) {
+      std::vector<uint8_t>* buf = nullptr;
+      switch (st.section) {
+        case SectionId::kText: buf = &text_; break;
+        case SectionId::kData: buf = &data_; break;
+        case SectionId::kBss: buf = nullptr; break;
+      }
+      if (st.section == SectionId::kBss) {
+        if (!st.is_directive ||
+            (st.head != ".space" && st.head != ".align")) {
+          fail(st.line, "only .space/.align are allowed in .bss");
+        }
+        continue;
+      }
+      while (buf->size() < st.offset) {
+        buf->push_back(0);
+      }
+      if (st.is_directive) {
+        emitDirective(st, *buf);
+      } else {
+        emitInstruction(st, *buf);
+      }
+    }
+  }
+
+  void emitDirective(const Statement& st, std::vector<uint8_t>& buf) {
+    const auto putLe = [&buf](uint64_t v, unsigned bytes) {
+      for (unsigned i = 0; i < bytes; ++i) {
+        buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      }
+    };
+    if (st.head == ".word" || st.head == ".half" || st.head == ".byte") {
+      const unsigned width =
+          st.head == ".word" ? 4 : (st.head == ".half" ? 2 : 1);
+      for (const std::string& op : st.operands) {
+        const int64_t v = evalExpr(op, st.line);
+        putLe(static_cast<uint64_t>(v), width);
+      }
+    } else if (st.head == ".space" || st.head == ".align") {
+      if (st.section == SectionId::kText) {
+        // Text padding must stay decodable: fill with 16-bit NOPs.
+        if (st.size % 2 != 0) {
+          fail(st.line, "text padding must be halfword sized");
+        }
+        for (uint32_t i = 0; i < st.size; i += 2) {
+          buf.push_back(0x02);  // nop16 encoding
+          buf.push_back(0x00);
+        }
+      } else {
+        for (uint32_t i = 0; i < st.size; ++i) {
+          buf.push_back(0);
+        }
+      }
+    } else if (st.head == ".ascii") {
+      for (char c : parseStringLiteral(st)) {
+        buf.push_back(static_cast<uint8_t>(c));
+      }
+    }
+  }
+
+  uint8_t regOperand(const Statement& st, size_t idx, char bank) const {
+    if (idx >= st.operands.size()) {
+      fail(st.line, "missing operand " + std::to_string(idx + 1));
+    }
+    const auto r = parseReg(trim(st.operands[idx]));
+    if (!r || r->first != bank) {
+      fail(st.line, "operand " + std::to_string(idx + 1) + " must be a " +
+                        std::string(1, bank) + "-register, got '" +
+                        st.operands[idx] + "'");
+    }
+    return r->second;
+  }
+
+  int32_t immOperand(const Statement& st, size_t idx) const {
+    if (idx >= st.operands.size()) {
+      fail(st.line, "missing immediate operand");
+    }
+    return static_cast<int32_t>(evalExpr(st.operands[idx], st.line));
+  }
+
+  MemOperand memOperand(const Statement& st, size_t idx) const {
+    if (idx >= st.operands.size()) {
+      fail(st.line, "missing memory operand");
+    }
+    std::string_view s = trim(st.operands[idx]);
+    if (s.empty() || s.front() != '[') {
+      fail(st.line, "memory operand must look like [aN]offset");
+    }
+    const size_t close = s.find(']');
+    if (close == std::string_view::npos) {
+      fail(st.line, "missing ']' in memory operand");
+    }
+    const auto r = parseReg(trim(s.substr(1, close - 1)));
+    if (!r || r->first != 'a') {
+      fail(st.line, "memory base must be an a-register");
+    }
+    MemOperand mem;
+    mem.base = r->second;
+    mem.offset_expr = std::string(trim(s.substr(close + 1)));
+    return mem;
+  }
+
+  int32_t branchDisp(const Statement& st, size_t idx, uint32_t addr) const {
+    const int64_t target = evalExpr(st.operands.at(idx), st.line);
+    const int64_t delta = target - static_cast<int64_t>(addr);
+    if ((delta & 1) != 0) {
+      fail(st.line, "branch target is not halfword aligned");
+    }
+    return static_cast<int32_t>(delta / 2);
+  }
+
+  void emitInstruction(const Statement& st, std::vector<uint8_t>& buf) {
+    const OpInfo& info = *opInfoByMnemonic(st.head);
+    const uint32_t addr = text_base_ + st.offset;
+    Instr instr;
+    instr.opc = info.opc;
+    instr.addr = addr;
+    instr.size = static_cast<uint8_t>(st.size);
+
+    const auto expectOperands = [&](size_t n) {
+      if (st.operands.size() != n) {
+        fail(st.line, st.head + " expects " + std::to_string(n) +
+                          " operand(s), got " +
+                          std::to_string(st.operands.size()));
+      }
+    };
+
+    switch (info.fmt) {
+      case Format::kRRR:
+        expectOperands(3);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.ra = regOperand(st, 1, 'd');
+        instr.rb = regOperand(st, 2, 'd');
+        break;
+      case Format::kAAA:
+        expectOperands(3);
+        instr.rd = regOperand(st, 0, 'a');
+        instr.ra = regOperand(st, 1, 'a');
+        instr.rb = regOperand(st, 2, 'a');
+        break;
+      case Format::kRRI:
+        expectOperands(3);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.ra = regOperand(st, 1, 'd');
+        instr.imm = immOperand(st, 2);
+        break;
+      case Format::kRI:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.imm = immOperand(st, 1);
+        break;
+      case Format::kAI:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'a');
+        instr.imm = immOperand(st, 1);
+        break;
+      case Format::kALI:
+        expectOperands(3);
+        instr.rd = regOperand(st, 0, 'a');
+        instr.ra = regOperand(st, 1, 'a');
+        instr.imm = immOperand(st, 2);
+        break;
+      case Format::kMovA:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'a');
+        instr.ra = regOperand(st, 1, 'd');
+        break;
+      case Format::kMovD:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.ra = regOperand(st, 1, 'a');
+        break;
+      case Format::kMem: {
+        expectOperands(2);
+        const char bank =
+            info.opc == Opc::kLda || info.opc == Opc::kSta ? 'a' : 'd';
+        instr.rd = regOperand(st, 0, bank);
+        const MemOperand mem = memOperand(st, 1);
+        instr.ra = mem.base;
+        instr.imm = mem.offset_expr.empty()
+                        ? 0
+                        : static_cast<int32_t>(
+                              evalExpr(mem.offset_expr, st.line));
+        break;
+      }
+      case Format::kBrCC:
+        expectOperands(3);
+        instr.ra = regOperand(st, 0, 'd');
+        instr.rb = regOperand(st, 1, 'd');
+        instr.imm = branchDisp(st, 2, addr);
+        break;
+      case Format::kJ:
+      case Format::k16J:
+        expectOperands(1);
+        instr.imm = branchDisp(st, 0, addr);
+        break;
+      case Format::kJI:
+        expectOperands(1);
+        instr.ra = regOperand(st, 0, 'a');
+        break;
+      case Format::kNone:
+      case Format::k16None:
+        expectOperands(0);
+        break;
+      case Format::k16RR:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.rb = regOperand(st, 1, 'd');
+        break;
+      case Format::k16RI:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.imm = immOperand(st, 1);
+        break;
+      case Format::k16BR:
+        expectOperands(2);
+        instr.rd = regOperand(st, 0, 'd');
+        instr.imm = branchDisp(st, 1, addr);
+        break;
+    }
+
+    std::vector<uint8_t> bytes;
+    try {
+      bytes = encode(instr);
+    } catch (const Error& e) {
+      fail(st.line, e.what());
+    }
+    buf.insert(buf.end(), bytes.begin(), bytes.end());
+  }
+
+  // ---- output ----------------------------------------------------------
+
+  elf::Object finish() {
+    elf::Object obj;
+    obj.machine = elf::Machine::kTrc32;
+
+    elf::Section text;
+    text.name = ".text";
+    text.addr = text_base_;
+    text.executable = true;
+    text.align = 4;
+    text.data = std::move(text_);
+    obj.sections.push_back(std::move(text));
+
+    if (!data_.empty()) {
+      elf::Section data;
+      data.name = ".data";
+      data.addr = data_base_;
+      data.writable = true;
+      data.align = 4;
+      data.data = std::move(data_);
+      obj.sections.push_back(std::move(data));
+    }
+    if (sectionOffset(SectionId::kBss) > 0) {
+      elf::Section bss;
+      bss.name = ".bss";
+      bss.kind = elf::SectionKind::kNobits;
+      bss.addr = bss_base_;
+      bss.writable = true;
+      bss.align = 4;
+      bss.mem_size = offsets_[static_cast<size_t>(SectionId::kBss)];
+      obj.sections.push_back(std::move(bss));
+    }
+
+    for (const auto& [name, loc] : labels_) {
+      elf::Symbol sym;
+      sym.name = name;
+      sym.value = sectionBase(loc.first) + loc.second;
+      sym.section = loc.first == SectionId::kText ? 0 : -1;
+      obj.symbols.push_back(std::move(sym));
+    }
+
+    const auto entry = labels_.find(opts_.entry_symbol);
+    obj.entry = entry != labels_.end()
+                    ? sectionBase(entry->second.first) + entry->second.second
+                    : text_base_;
+    return obj;
+  }
+
+  AsmOptions opts_;
+  std::vector<Statement> statements_;
+  std::vector<std::pair<std::string, int>> pending_labels_;
+  std::map<std::string, std::pair<SectionId, uint32_t>> labels_;
+  uint32_t offsets_[3] = {0, 0, 0};
+  uint32_t text_base_ = 0, data_base_ = 0, bss_base_ = 0;
+  std::vector<uint8_t> text_;
+  std::vector<uint8_t> data_;
+
+  uint32_t sectionOffset(SectionId s) const {
+    return offsets_[static_cast<size_t>(s)];
+  }
+};
+
+}  // namespace
+
+elf::Object assemble(std::string_view source, const AsmOptions& opts) {
+  Assembler assembler(opts);
+  return assembler.run(source);
+}
+
+}  // namespace cabt::trc

@@ -1,0 +1,44 @@
+// Two-pass TRC32 assembler.
+//
+// The paper's toolflow consumes object code produced by a C compiler; this
+// repository's workloads are written in TRC32 assembly instead (see
+// DESIGN.md substitution table) and assembled into the same ELF32 images
+// the translator consumes.
+//
+// Syntax:
+//   label:   instruction ; comment          ('#' also starts a comment)
+//   Sections: .text .data .bss  — base addresses come from AsmOptions.
+//   Data:     .word e[, e...]  .half  .byte  .space N  .align N  .ascii "s"
+//   Misc:     .global name (accepted, all labels are global)
+//   Operands: d0..d15, a0..a15, immediates, [aN]offset memory refs,
+//             expressions over labels: sym, sym+4, hi(sym), lo(sym).
+//   hi()/lo() follow the carry-adjusted convention so that
+//   movha aX, hi(sym) ; lea aX, aX, lo(sym) materialises sym exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "elf/elf.h"
+
+namespace cabt::trc {
+
+struct AsmOptions {
+  uint32_t text_base = 0x8000'0000;
+  uint32_t data_base = 0xd000'0000;
+  /// Entry point symbol; falls back to the text base when absent.
+  std::string entry_symbol = "_start";
+};
+
+/// Assembles TRC32 source into an executable ELF32 object.
+/// Throws cabt::Error with a line number on any syntax or range error.
+elf::Object assemble(std::string_view source, const AsmOptions& opts = {});
+
+/// hi/lo immediate helpers (exposed for tests and the translator).
+constexpr uint32_t hi16(uint32_t value) { return (value + 0x8000u) >> 16; }
+constexpr int32_t lo16(uint32_t value) {
+  return static_cast<int32_t>(static_cast<int16_t>(value & 0xffffu));
+}
+
+}  // namespace cabt::trc

@@ -1,0 +1,144 @@
+// TRC32 instruction set definition.
+//
+// TRC32 is the TriCore-v1.3-flavoured source ISA of this reproduction
+// (see DESIGN.md): 16 data registers D0..D15, 16 address registers
+// A0..A15 (A10 = stack pointer, A11 = link register by convention), and
+// mixed 16/32-bit instruction encodings. Bit 0 of the first halfword
+// selects the width (1 = 32-bit), as in TriCore.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "arch/arch.h"
+#include "arch/timing.h"
+
+namespace cabt::trc {
+
+/// Architectural register counts and conventions.
+constexpr int kNumDataRegs = 16;
+constexpr int kNumAddrRegs = 16;
+constexpr int kStackPointer = 10;  ///< A10
+constexpr int kLinkRegister = 11;  ///< A11
+
+/// Unified register numbering used for timing and dataflow:
+/// 0..15 = D0..D15, 16..31 = A0..A15.
+constexpr int unifiedD(int d) { return d; }
+constexpr int unifiedA(int a) { return 16 + a; }
+
+/// Every TRC32 opcode. The *16 variants are 16-bit encodings.
+enum class Opc : uint8_t {
+  kInvalid = 0,
+  // 32-bit data ALU (format RRR unless noted).
+  kAdd, kSub, kAnd, kOr, kXor, kShl, kShr, kSar,
+  kMul,                        // multiply, longer result latency
+  kEq, kNe, kLt, kGe, kLtu, kGeu,  // compare into a data register
+  kAddi,                       // RRI: Dd = Da + simm16
+  kMovi,                       // RI: Dd = simm16
+  kMovh,                       // RI: Dd = uimm16 << 16
+  // 32-bit address ALU.
+  kMova,                       // Ad = Db
+  kMovd,                       // Dd = Ab
+  kLea,                        // Ad = Ab + simm16
+  kMovha,                      // Ad = uimm16 << 16
+  kAdda, kSuba,                // Ad = Aa op Ab
+  // Loads and stores: [Ab]simm16.
+  kLdw, kLdh, kLdhu, kLdb, kLdbu,
+  kLda,                        // load into an address register
+  kStw, kSth, kStb,
+  kSta,                        // store from an address register
+  // Control transfer. Displacements are halfword counts relative to the
+  // instruction address.
+  kJ,                          // unconditional, disp24
+  kJl,                         // call: A11 = return address, disp24
+  kJi,                         // indirect jump via Aa (return)
+  kJeq, kJne, kJlt, kJge, kJltu, kJgeu,  // conditional, Da ? Db, disp16
+  // System.
+  kNop, kHalt, kBkpt,
+  // 16-bit encodings.
+  kNop16, kMov16, kAdd16, kSub16,  // Dd (op)= Db
+  kMovi16, kAddi16,                // Dd (op)= simm7
+  kJnz16, kJz16,                   // Dd ?= 0, disp7
+  kJ16,                            // disp11
+  kRet16,                          // JI A11
+  kOpcCount,
+};
+
+/// Encoding format of an opcode.
+enum class Format : uint8_t {
+  kRRR,    ///< Dd, Da, Db
+  kRRI,    ///< Dd, Da, simm16
+  kRI,     ///< Dd, imm16
+  kAI,     ///< Ad, uimm16
+  kALI,    ///< Ad, Ab, simm16
+  kAAA,    ///< Ad, Aa, Ab
+  kMovA,   ///< Ad, Db
+  kMovD,   ///< Dd, Ab
+  kMem,    ///< Rd, [Ab]simm16 (Rd is D or A depending on opcode)
+  kBrCC,   ///< Da, Db, disp16
+  kJ,      ///< disp24
+  kJI,     ///< Aa
+  kNone,   ///< no operands
+  k16None, ///< 16-bit, no operands
+  k16RR,   ///< 16-bit Dd, Db
+  k16RI,   ///< 16-bit Dd, simm7
+  k16BR,   ///< 16-bit Dd, disp7
+  k16J,    ///< 16-bit disp11
+};
+
+/// Static description of one opcode.
+struct OpInfo {
+  Opc opc = Opc::kInvalid;
+  std::string_view mnemonic;
+  Format fmt = Format::kNone;
+  arch::OpClass cls = arch::OpClass::kIpAlu;
+  uint8_t encoding = 0;  ///< primary opcode field value
+};
+
+/// Table lookup helpers.
+const OpInfo& opInfo(Opc opc);
+const OpInfo* opInfoByMnemonic(std::string_view mnemonic);
+/// All opcodes in declaration order (excludes kInvalid/kOpcCount).
+const std::vector<Opc>& allOpcodes();
+
+/// True for 16-bit encodings.
+bool is16Bit(Opc opc);
+
+/// One decoded instruction.
+struct Instr {
+  Opc opc = Opc::kInvalid;
+  uint8_t rd = 0;   ///< destination register field (source reg for stores)
+  uint8_t ra = 0;   ///< first source / base register field
+  uint8_t rb = 0;   ///< second source register field
+  int32_t imm = 0;  ///< immediate; for branches: displacement in halfwords
+  uint32_t addr = 0;
+  uint8_t size = 0;  ///< 2 or 4 bytes
+
+  [[nodiscard]] const OpInfo& info() const { return opInfo(opc); }
+  [[nodiscard]] arch::OpClass cls() const { return info().cls; }
+  [[nodiscard]] bool isControlTransfer() const {
+    return arch::isControlTransfer(cls());
+  }
+  /// Branch target for direct control transfers.
+  [[nodiscard]] uint32_t branchTarget() const {
+    return addr + static_cast<uint32_t>(imm * 2);
+  }
+  /// Operands in the unified timing numbering (see arch::TimedOp).
+  [[nodiscard]] arch::TimedOp timedOp() const;
+};
+
+/// Encodes an instruction; returns 2 or 4 bytes (little-endian).
+/// Throws cabt::Error when a field is out of range.
+std::vector<uint8_t> encode(const Instr& instr);
+
+/// Decodes the instruction at `addr` from `bytes` (little-endian stream
+/// starting at that instruction). Throws on unknown encodings.
+Instr decode(const uint8_t* bytes, size_t available, uint32_t addr);
+
+/// Formats an instruction as assembly text (round-trips through the
+/// assembler).
+std::string disassemble(const Instr& instr);
+
+}  // namespace cabt::trc

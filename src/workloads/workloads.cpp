@@ -1,0 +1,387 @@
+#include "workloads/workloads.h"
+
+#include "common/error.h"
+#include "trc/assembler.h"
+
+namespace cabt::workloads {
+namespace {
+
+// Control-flow dominated: subtraction-based Euclid over a table of pairs
+// (paper: "two more control flow dominated programs (gcd, sieve)").
+// Checksum: sum of the eight gcds = 214.
+const char* kGcd = R"(
+; gcd - greatest common divisor over a pair table (control dominated)
+_start: movha a0, hi(pairs)
+        lea a0, a0, lo(pairs)
+        movi d9, 0
+        movi d8, 8
+outer:  ldw d1, [a0]0
+        ldw d2, [a0]4
+gloop:  jeq d1, d2, gdone
+        lt d3, d1, d2
+        jnz16 d3, less
+        sub d1, d1, d2
+        j16 gloop
+less:   sub d2, d2, d1
+        j16 gloop
+gdone:  add d9, d9, d1
+        lea a0, a0, 8
+        addi16 d8, -1
+        jnz16 d8, outer
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+pairs:  .word 1071, 462, 240, 46, 360, 210, 1000, 35
+        .word 81, 57, 123, 82, 35, 64, 999, 111
+result: .word 0
+)";
+
+// Iterative Fibonacci, repeated; tiny loop body (small basic blocks).
+const char* kFibonacci = R"(
+; fibonacci - iterative Fibonacci, 180 x 46 iterations
+_start: movi d0, 180
+        movi d9, 0
+outer:  movi d1, 0
+        movi d2, 1
+        movi d3, 46
+floop:  add d4, d1, d2
+        mov16 d1, d2
+        mov16 d2, d4
+        addi16 d3, -1
+        jnz16 d3, floop
+        add d9, d9, d2
+        addi16 d0, -1
+        jnz16 d0, outer
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+result: .word 0
+)";
+
+// Sieve of Eratosthenes over 700 byte flags; many small blocks.
+// Checksum: number of primes below 700 = 125.
+const char* kSieve = R"(
+; sieve - sieve of Eratosthenes, N = 700
+_start: movha a0, hi(flags)
+        lea a0, a0, lo(flags)
+        movi d7, 700
+        movi d1, 1
+        lea a1, a0, 0
+        movi d3, 700
+clr:    stb d1, [a1]0
+        lea a1, a1, 1
+        addi16 d3, -1
+        jnz16 d3, clr
+        movi d4, 2
+        movi d9, 0
+iloop:  mova a1, d4
+        adda a1, a0, a1
+        ldbu d5, [a1]0
+        jz16 d5, nexti
+        addi16 d9, 1
+        add d6, d4, d4
+jloop:  lt d3, d6, d7
+        jz16 d3, nexti
+        mova a2, d6
+        adda a2, a0, a2
+        movi d5, 0
+        stb d5, [a2]0
+        add d6, d6, d4
+        j16 jloop
+nexti:  addi16 d4, 1
+        lt d3, d4, d7
+        jnz16 d3, iloop
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+result: .word 0
+        .bss
+flags:  .space 704
+)";
+
+// DPCM encoder: prediction, quantisation with clamping branches,
+// reconstruction (audio decoding/encoding kernel, mixed control/data).
+const char* kDpcm = R"(
+; dpcm - differential pulse code modulation encoder, 800 samples
+_start: movi d0, 800
+        movi d1, 12345      ; LCG seed
+        movi d2, 25173
+        movi d3, 13849
+        movi d13, 255
+        movi d15, 1
+        movi d9, 0          ; checksum
+        movi d6, 0          ; prev1
+        movi d7, 0          ; prev2
+sloop:  mul d1, d1, d2
+        add d1, d1, d3
+        and d4, d1, d13
+        addi d4, d4, -128   ; sample x
+        add d5, d6, d7
+        sar d5, d5, d15     ; pred = (prev1 + prev2) >> 1
+        sub d4, d4, d5      ; diff
+        movi d10, 7
+        lt d11, d10, d4
+        jz16 d11, nohi
+        mov16 d4, d10       ; clamp high
+nohi:   movi d10, -8
+        lt d11, d4, d10
+        jz16 d11, nolo
+        mov16 d4, d10       ; clamp low
+nolo:   add d12, d5, d4     ; reconstructed
+        mov16 d7, d6
+        mov16 d6, d12
+        movi d10, 15
+        and d11, d4, d10
+        add d9, d9, d11
+        addi16 d0, -1
+        jnz16 d0, sloop
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+result: .word 0
+)";
+
+// 16-tap FIR filter over 96 samples; regular MAC inner loop.
+const char* kFir = R"(
+; fir - 16-tap FIR filter, 96 output samples
+_start: movha a0, hi(x)
+        lea a0, a0, lo(x)
+        movi d1, 12345
+        movi d2, 25173
+        movi d3, 13849
+        movi d13, 255
+        movi d0, 112
+xinit:  mul d1, d1, d2
+        add d1, d1, d3
+        and d4, d1, d13
+        stw d4, [a0]0
+        lea a0, a0, 4
+        addi16 d0, -1
+        jnz16 d0, xinit
+        movha a0, hi(x)
+        lea a0, a0, lo(x)
+        movha a1, hi(h)
+        lea a1, a1, lo(h)
+        movi d0, 96
+        movi d9, 0
+sloop:  movi d5, 0
+        movi d6, 16
+        lea a3, a0, 0
+        lea a4, a1, 0
+tloop:  ldw d7, [a3]0
+        ldw d8, [a4]0
+        mul d10, d7, d8
+        add d5, d5, d10
+        lea a3, a3, 4
+        lea a4, a4, 4
+        addi16 d6, -1
+        jnz16 d6, tloop
+        add d9, d9, d5
+        lea a0, a0, 4
+        addi16 d0, -1
+        jnz16 d0, sloop
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+h:      .word 3, -1, 4, 1, -5, 9, -2, 6, 5, -3, 5, 8, -9, 7, 9, -3
+result: .word 0
+        .bss
+x:      .space 448
+)";
+
+// Elliptic filter: two cascaded biquad-style sections evaluated in one
+// large straight-line block per sample (paper: fast "especially for
+// examples with large basic blocks like ellip and subband").
+const char* kEllip = R"(
+; ellip - cascaded filter sections, 512 samples, large basic blocks
+_start: movi d0, 512
+        movi d1, 12345
+        movi d2, 25173
+        movi d3, 13849
+        movi d13, 255
+        movi d15, 1
+        movi d9, 0
+        movi d5, 0          ; section 1 state s11
+        movi d6, 0          ; section 1 state s12
+        movi d7, 0          ; section 2 state s21
+        movi d8, 0          ; section 2 state s22
+sloop:  mul d1, d1, d2
+        add d1, d1, d3
+        and d4, d1, d13
+        addi d4, d4, -128   ; input sample
+        movi d10, 2
+        mul d11, d4, d10
+        add d12, d11, d5    ; y1 = 2x + s11
+        movi d10, 3
+        mul d14, d4, d10
+        sub d5, d14, d12
+        add d5, d5, d6      ; s11' = 3x - y1 + s12
+        add d6, d11, d12    ; s12' = 2x + y1
+        sar d12, d12, d15   ; y1 >>= 1
+        movi d10, 2
+        mul d11, d12, d10
+        add d4, d11, d7     ; y2 = 2y1 + s21
+        movi d10, 3
+        mul d14, d12, d10
+        sub d7, d14, d4
+        add d7, d7, d8      ; s21' = 3y1 - y2 + s22
+        add d8, d11, d4     ; s22' = 2y1 + y2
+        sar d4, d4, d15
+        add d9, d9, d4
+        addi16 d0, -1
+        jnz16 d0, sloop
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+result: .word 0
+)";
+
+// Two-band subband analysis: 8-tap low/high filters fully unrolled per
+// output pair (large straight-line blocks, audio decoding kernel).
+const char* kSubband = R"(
+; subband - 2-band analysis filter, 8 taps unrolled, 160 output pairs
+_start: movha a0, hi(x)
+        lea a0, a0, lo(x)
+        movi d1, 24321
+        movi d2, 25173
+        movi d3, 13849
+        movi d13, 255
+        movi d0, 328
+xinit:  mul d1, d1, d2
+        add d1, d1, d3
+        and d4, d1, d13
+        stw d4, [a0]0
+        lea a0, a0, 4
+        addi16 d0, -1
+        jnz16 d0, xinit
+        movha a3, hi(x)
+        lea a3, a3, lo(x)
+        movi d0, 160
+        movi d1, 0          ; low-band accumulator
+        movi d2, 0          ; high-band accumulator
+nloop:  ldw d4, [a3]0
+        ldw d5, [a3]4
+        ldw d6, [a3]8
+        ldw d7, [a3]12
+        ldw d8, [a3]16
+        ldw d10, [a3]20
+        ldw d11, [a3]24
+        ldw d12, [a3]28
+        movi d14, 3
+        mul d15, d4, d14
+        add d1, d1, d15
+        add d2, d2, d15
+        movi d14, 7
+        mul d15, d5, d14
+        add d1, d1, d15
+        sub d2, d2, d15
+        movi d14, 11
+        mul d15, d6, d14
+        add d1, d1, d15
+        add d2, d2, d15
+        movi d14, 15
+        mul d15, d7, d14
+        add d1, d1, d15
+        sub d2, d2, d15
+        movi d14, 15
+        mul d15, d8, d14
+        add d1, d1, d15
+        add d2, d2, d15
+        movi d14, 11
+        mul d15, d10, d14
+        add d1, d1, d15
+        sub d2, d2, d15
+        movi d14, 7
+        mul d15, d11, d14
+        add d1, d1, d15
+        add d2, d2, d15
+        movi d14, 3
+        mul d15, d12, d14
+        add d1, d1, d15
+        sub d2, d2, d15
+        lea a3, a3, 8
+        addi16 d0, -1
+        movi d14, 0
+        jne d0, d14, nloop
+        add d9, d1, d2
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+result: .word 0
+        .bss
+x:      .space 1312
+)";
+
+std::vector<Workload> buildAll() {
+  std::vector<Workload> w;
+  w.push_back({"gcd", "subtraction Euclid over a pair table (control flow)",
+               kGcd, 214u, false});
+  w.push_back({"dpcm",
+               "DPCM encoder with clamping branches (audio coding)", kDpcm,
+               std::nullopt, false});
+  w.push_back({"fir", "16-tap FIR filter (filter kernel)", kFir,
+               std::nullopt, false});
+  w.push_back({"ellip",
+               "cascaded filter sections, one large block per sample",
+               kEllip, std::nullopt, true});
+  w.push_back({"sieve", "sieve of Eratosthenes, N=700 (control flow)",
+               kSieve, 125u, false});
+  w.push_back({"subband",
+               "two-band analysis filter, 8 taps unrolled (large blocks)",
+               kSubband, std::nullopt, true});
+  w.push_back({"fibonacci", "iterative Fibonacci (Table 2)", kFibonacci,
+               std::nullopt, false});
+  return w;
+}
+
+}  // namespace
+
+const std::vector<Workload>& all() {
+  static const std::vector<Workload>* workloads =
+      new std::vector<Workload>(buildAll());
+  return *workloads;
+}
+
+const Workload& get(std::string_view name) {
+  for (const Workload& w : all()) {
+    if (w.name == name) {
+      return w;
+    }
+  }
+  CABT_FAIL("unknown workload '" << std::string(name) << "'");
+}
+
+std::vector<std::string> figure5Names() {
+  return {"gcd", "dpcm", "fir", "ellip", "sieve", "subband"};
+}
+
+std::vector<std::string> table2Names() {
+  return {"gcd", "fibonacci", "sieve"};
+}
+
+elf::Object assemble(const Workload& workload) {
+  return trc::assemble(workload.source);
+}
+
+uint32_t readChecksum(const elf::Object& source, const SparseMemory& memory,
+                      uint32_t remap_delta) {
+  const elf::Symbol* sym = source.findSymbol("result");
+  CABT_CHECK(sym != nullptr, "workload has no 'result' symbol");
+  return memory.read32(sym->value + remap_delta);
+}
+
+}  // namespace cabt::workloads

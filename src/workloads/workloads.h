@@ -1,0 +1,53 @@
+// The paper's example programs (section 4), written in TRC32 assembly.
+//
+// Figure 5 / Table 1 / Figure 6 use: gcd, dpcm, fir, ellip, sieve,
+// subband. Table 2 uses: gcd, fibonacci, sieve. The programs mirror the
+// paper's characterisation: gcd and sieve are control-flow dominated with
+// many small basic blocks; fir and ellip are filters; dpcm and subband
+// are audio-coding kernels; ellip and subband have large basic blocks.
+//
+// Every workload stores a final checksum to the `result` symbol in .data
+// and halts; array inputs are generated at run time by a small LCG init
+// loop so the images stay compact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sparse_mem.h"
+#include "elf/elf.h"
+
+namespace cabt::workloads {
+
+struct Workload {
+  std::string name;
+  std::string description;
+  std::string source;  ///< TRC32 assembly
+  /// Hand-computed expected checksum, when independently known.
+  std::optional<uint32_t> expected_checksum;
+  bool large_blocks = false;  ///< paper: "examples with large basic blocks"
+};
+
+/// All workloads, in the paper's presentation order (gcd, dpcm, fir,
+/// ellip, sieve, subband, fibonacci).
+const std::vector<Workload>& all();
+
+/// Lookup by name; throws cabt::Error when unknown.
+const Workload& get(std::string_view name);
+
+/// The six programs of Figure 5 / Table 1 / Figure 6.
+std::vector<std::string> figure5Names();
+/// The three programs of Table 2.
+std::vector<std::string> table2Names();
+
+/// Assembles a workload into a TRC32 ELF image.
+elf::Object assemble(const Workload& workload);
+
+/// Reads the `result` word from a memory image, resolving the symbol via
+/// the source object (applies `remap_delta` for translated memory).
+uint32_t readChecksum(const elf::Object& source, const SparseMemory& memory,
+                      uint32_t remap_delta = 0);
+
+}  // namespace cabt::workloads

@@ -1,0 +1,87 @@
+// Basic-block construction, static cycle calculation and cache-analysis-
+// block splitting (paper sections 3, 3.3 and 3.4.2).
+#include "arch/timing.h"
+#include "common/error.h"
+#include "trc/program.h"
+#include "xlat/internal.h"
+
+namespace cabt::xlat {
+
+std::vector<SourceBlock> buildBlocks(const elf::Object& object) {
+  const std::vector<trc::Instr> instrs = trc::decodeText(object);
+  CABT_CHECK(!instrs.empty(), "program has no instructions");
+  const std::set<uint32_t> leaders = trc::findLeaders(object, instrs);
+
+  std::vector<SourceBlock> blocks;
+  for (const trc::Instr& instr : instrs) {
+    const bool starts_block =
+        blocks.empty() || leaders.count(instr.addr) != 0;
+    if (starts_block) {
+      SourceBlock block;
+      block.addr = instr.addr;
+      blocks.push_back(std::move(block));
+    }
+    blocks.back().instrs.push_back(instr);
+    // A control transfer always terminates the block (its successor is a
+    // leader anyway, but this keeps the invariant explicit).
+  }
+  for (const SourceBlock& b : blocks) {
+    CABT_CHECK(!b.instrs.empty(), "empty basic block");
+    for (size_t i = 0; i + 1 < b.instrs.size(); ++i) {
+      CABT_CHECK(!b.instrs[i].isControlTransfer(),
+                 "control transfer in the middle of a block");
+    }
+  }
+  return blocks;
+}
+
+void computeStaticCycles(const arch::ArchDescription& desc,
+                         std::vector<SourceBlock>& blocks) {
+  for (SourceBlock& block : blocks) {
+    arch::PipelineTimer timer(desc.pipeline);
+    for (const trc::Instr& instr : block.instrs) {
+      timer.issue(instr.timedOp());
+    }
+    uint64_t cycles = timer.cycles();
+    // Static part of the branch cost: unconditional transfers have a
+    // fixed extra; conditional branches contribute their minimum (zero
+    // extra) statically — the rest is dynamic correction (section 3.4.1).
+    const trc::Instr& last = block.last();
+    if (last.isControlTransfer() &&
+        last.cls() != arch::OpClass::kBranchCond) {
+      cycles += desc.branch.unconditionalExtra(last.cls());
+    }
+    CABT_CHECK(cycles <= 30000, "basic block too long for annotation");
+    block.static_cycles = static_cast<uint32_t>(cycles);
+  }
+}
+
+void computeCacheAnalysisBlocks(const arch::ICacheModel& icache,
+                                std::vector<SourceBlock>& blocks) {
+  // Stride of one set's state in the cache data area: `ways` combined
+  // tag+valid words plus one LRU word.
+  const uint32_t set_stride = (icache.ways + 1) * 4;
+  for (SourceBlock& block : blocks) {
+    block.cabs.clear();
+    block.cab_starts.clear();
+    bool have_line = false;
+    uint32_t last_line = 0;
+    for (size_t i = 0; i < block.instrs.size(); ++i) {
+      const uint32_t addr = block.instrs[i].addr;
+      const uint32_t line = icache.lineOf(addr);
+      if (have_line && line == last_line) {
+        continue;
+      }
+      have_line = true;
+      last_line = line;
+      CacheAnalysisBlock cab;
+      cab.first_addr = addr;
+      cab.tag_word = (icache.tagOf(addr) << 1) | 1u;
+      cab.set_offset = icache.setOf(addr) * set_stride;
+      block.cabs.push_back(cab);
+      block.cab_starts.push_back(i);
+    }
+  }
+}
+
+}  // namespace cabt::xlat

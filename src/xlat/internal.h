@@ -1,0 +1,146 @@
+// Internal data structures shared between the translator's passes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "arch/arch.h"
+#include "elf/elf.h"
+#include "trc/isa.h"
+#include "vliw/isa.h"
+#include "xlat/translator.h"
+
+namespace cabt::xlat {
+
+/// One target op produced by lowering, before scheduling. The scheduler
+/// assigns units; the emitter patches fixups once packet addresses are
+/// known.
+struct XOp {
+  vliw::MachineOp op;
+  enum class Fixup : uint8_t {
+    kNone,
+    kBranchToBlock,    ///< op.imm <- target address of source block
+    kBranchToRoutine,  ///< op.imm <- address of the cache routine
+    kRetAddrLo,        ///< op.imm <- low half of the post-call address
+    kRetAddrHi,        ///< op.imm <- high half of the post-call address
+  };
+  Fixup fixup = Fixup::kNone;
+  uint32_t fixup_data = 0;  ///< kBranchToBlock: source target address;
+                            ///< kRetAddr*: call id within the block
+  bool volatile_mem = false;
+  bool is_call = false;  ///< segment boundary: delay slots must stay empty
+};
+
+/// A source basic block plus everything the passes attach to it.
+struct SourceBlock {
+  uint32_t addr = 0;
+  std::vector<trc::Instr> instrs;
+  uint32_t static_cycles = 0;
+  std::vector<CacheAnalysisBlock> cabs;
+  /// Index into instrs at which each CAB begins (parallel to cabs).
+  std::vector<size_t> cab_starts;
+  std::vector<XOp> code;
+
+  [[nodiscard]] const trc::Instr& last() const { return instrs.back(); }
+  [[nodiscard]] bool endsWithControlTransfer() const {
+    return !instrs.empty() && instrs.back().isControlTransfer();
+  }
+};
+
+/// Constant-propagation lattice value for an address register.
+struct AddrValue {
+  enum class State : uint8_t { kBottom, kConst, kTop };
+  State state = State::kBottom;
+  uint32_t value = 0;
+
+  static AddrValue bottom() { return {State::kBottom, 0}; }
+  static AddrValue top() { return {State::kTop, 0}; }
+  static AddrValue constant(uint32_t v) { return {State::kConst, v}; }
+  [[nodiscard]] bool isConst() const { return state == State::kConst; }
+  bool operator==(const AddrValue&) const = default;
+
+  /// Lattice meet.
+  [[nodiscard]] AddrValue meet(const AddrValue& other) const {
+    if (state == State::kBottom) {
+      return other;
+    }
+    if (other.state == State::kBottom) {
+      return *this;
+    }
+    if (*this == other) {
+      return *this;
+    }
+    return top();
+  }
+};
+
+/// Result of the base-address analysis (paper Fig. 1: "finding base
+/// addresses"): classification of every memory access and the set of
+/// MOVHA instructions whose immediate must be rewritten to the target
+/// address space.
+struct AddressAnalysis {
+  /// Source address of each memory instruction -> statically known
+  /// effective address (absent = unknown base).
+  std::map<uint32_t, uint32_t> known_ea;
+  /// Source addresses of MOVHA instructions -> new immediate.
+  std::map<uint32_t, uint16_t> movha_rewrites;
+  uint64_t io_accesses = 0;
+  uint64_t ram_accesses = 0;
+  uint64_t unknown_accesses = 0;
+};
+
+/// Runs the forward constant propagation over all blocks.
+AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
+                                 const std::vector<SourceBlock>& blocks,
+                                 uint32_t entry);
+
+/// Builds source blocks from the decoded program.
+std::vector<SourceBlock> buildBlocks(const elf::Object& object);
+
+/// Fills SourceBlock::static_cycles (paper section 3.3): per-block
+/// pipeline model plus the static part of the branch cost.
+void computeStaticCycles(const arch::ArchDescription& desc,
+                         std::vector<SourceBlock>& blocks);
+
+/// Splits each block into cache analysis blocks (paper section 3.4.2).
+void computeCacheAnalysisBlocks(const arch::ICacheModel& icache,
+                                std::vector<SourceBlock>& blocks);
+
+/// Lowers every block to target ops, inserting annotation and dynamic
+/// correction code according to the detail level.
+struct LowerContext {
+  const arch::ArchDescription* desc = nullptr;
+  const AddressAnalysis* addresses = nullptr;
+  TranslateOptions options;
+  bool has_indirect_jumps = false;
+  uint32_t source_text_base = 0;
+  uint8_t dispatch_reg = 0;  ///< resolved register for the dispatch constant
+};
+void lowerBlocks(const LowerContext& ctx, std::vector<SourceBlock>& blocks);
+
+/// Generates the cache-correction routine (paper Fig. 4) as ops.
+std::vector<XOp> buildCacheRoutine(const arch::ICacheModel& icache,
+                                   bool inline_body);
+
+/// Schedules a block's ops into execute packets (greedy in-order packing
+/// honouring unit constraints, result latencies and volatile order).
+/// `fixups` receives (packet index, op index) -> XOp metadata for the
+/// emitter.
+struct ScheduledBlock {
+  std::vector<vliw::Packet> packets;
+  /// For each packet/op that needs patching: location + metadata.
+  struct PendingFixup {
+    size_t packet = 0;
+    size_t op = 0;
+    XOp::Fixup fixup = XOp::Fixup::kNone;
+    uint32_t data = 0;
+  };
+  std::vector<PendingFixup> fixups;
+  /// Packet index right after each call's delay slots (call id -> index).
+  std::vector<size_t> call_returns;
+};
+ScheduledBlock scheduleBlock(const std::vector<XOp>& ops);
+
+}  // namespace cabt::xlat

@@ -1,0 +1,65 @@
+// Fixed register binding between TRC32 and V6X.
+//
+// The translator binds the source architectural state to fixed V6X
+// registers so that any basic block can be entered from any other:
+//   D0..D15 -> A16..A31      (data registers, datapath A)
+//   A0..A15 -> B16..B31      (address registers, datapath B)
+// The low registers are reserved for the translation machinery:
+//   A1, A2, B0   predicate registers (the only predicable ones)
+//   A3           dynamic correction cycle counter (paper section 3.4)
+//   A4           synchronization device base address
+//   A5           cache-routine return address
+//   A6, A7       cache-routine arguments (tag word, set byte offset)
+//   B12          dispatch constant of the debugger's second image
+//   B13          indirect-jump dispatch constant (table base - 2*text base)
+//   B14          cache state area base (paper section 3.4.2)
+//   B15          discard target of synchronization-wait loads
+//   A8..A15, B1..B12         block-local temporaries
+#pragma once
+
+#include <cstdint>
+
+#include "vliw/isa.h"
+
+namespace cabt::xlat {
+
+constexpr uint8_t srcD(int i) { return vliw::regA(16 + i); }
+constexpr uint8_t srcA(int i) { return vliw::regB(16 + i); }
+
+constexpr uint8_t kCorrReg = vliw::regA(3);
+constexpr uint8_t kSyncBaseReg = vliw::regA(4);
+constexpr uint8_t kCacheRetReg = vliw::regA(5);
+constexpr uint8_t kCacheTagReg = vliw::regA(6);
+constexpr uint8_t kCacheSetReg = vliw::regA(7);
+constexpr uint8_t kDispatchReg = vliw::regB(13);
+constexpr uint8_t kCacheBaseReg = vliw::regB(14);
+/// The "wait for end of cycle generation" read needs a destination; B15
+/// is reserved for it so the in-flight write can never collide with a
+/// later write from another block (loads commit 5 slots after issue,
+/// which may be deep inside the next block).
+constexpr uint8_t kSyncDiscardReg = vliw::regB(15);
+/// Dispatch constant of the debugger's second (instruction-oriented)
+/// image; both images coexist in one register file, so each needs its
+/// own (paper section 3.5 dual translation).
+constexpr uint8_t kAltDispatchReg = vliw::regB(12);
+
+/// Pool of block-local temporaries, in allocation order.
+constexpr uint8_t kTempPool[] = {
+    vliw::regA(8),  vliw::regA(9),  vliw::regA(10), vliw::regA(11),
+    vliw::regA(12), vliw::regA(13), vliw::regA(14), vliw::regA(15),
+    vliw::regB(1),  vliw::regB(2),  vliw::regB(3),  vliw::regB(4),
+    vliw::regB(5),  vliw::regB(6),  vliw::regB(7),  vliw::regB(8),
+    vliw::regB(9),  vliw::regB(10), vliw::regB(11),
+};
+constexpr int kTempPoolSize = static_cast<int>(sizeof(kTempPool));
+
+/// True for a V6X register that mirrors source architectural state.
+constexpr bool isSourceStateReg(uint8_t reg) {
+  return (reg >= vliw::regA(16) && reg <= vliw::regA(31)) ||
+         (reg >= vliw::regB(16) && reg <= vliw::regB(31));
+}
+
+/// The synchronization device window in the VLIW address space.
+constexpr uint32_t kSyncDeviceBase = 0xfe00'0000;
+
+}  // namespace cabt::xlat

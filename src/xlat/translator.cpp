@@ -1,0 +1,344 @@
+// Translator facade: runs the pass pipeline and emits the final V6X ELF
+// image (paper Fig. 1, bottom half).
+#include "xlat/translator.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/strutil.h"
+#include "trc/program.h"
+#include "xlat/internal.h"
+#include "xlat/regmap.h"
+
+namespace cabt::xlat {
+namespace {
+
+using vliw::kNoReg;
+using vliw::MachineOp;
+using vliw::VOpc;
+
+
+MachineOp makeOp(VOpc opc, uint8_t dst, uint8_t s1 = kNoReg,
+                 uint8_t s2 = kNoReg, int32_t imm = 0) {
+  MachineOp m;
+  m.opc = opc;
+  m.dst = dst;
+  m.src1 = s1;
+  m.src2 = s2;
+  m.imm = imm;
+  return m;
+}
+
+void pushConst(std::vector<XOp>& out, uint8_t reg, uint32_t value) {
+  XOp lo;
+  lo.op = makeOp(VOpc::kMvk, reg, kNoReg, kNoReg,
+                 static_cast<int16_t>(value & 0xffffu));
+  out.push_back(lo);
+  XOp hi;
+  hi.op = makeOp(VOpc::kMvkh, reg, kNoReg, kNoReg,
+                 static_cast<int32_t>(value >> 16));
+  out.push_back(hi);
+}
+
+/// Splits blocks into single-instruction units for the instruction-
+/// oriented translation (paper section 3.5), each prefixed with a YIELD
+/// into the debug runtime.
+std::vector<SourceBlock> splitPerInstruction(
+    const std::vector<SourceBlock>& blocks) {
+  std::vector<SourceBlock> out;
+  for (const SourceBlock& b : blocks) {
+    for (const trc::Instr& in : b.instrs) {
+      SourceBlock unit;
+      unit.addr = in.addr;
+      unit.instrs.push_back(in);
+      out.push_back(std::move(unit));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* detailLevelName(DetailLevel level) {
+  switch (level) {
+    case DetailLevel::kFunctional:
+      return "functional";
+    case DetailLevel::kStatic:
+      return "static";
+    case DetailLevel::kBranchPredict:
+      return "branch-predict";
+    case DetailLevel::kICache:
+      return "icache";
+  }
+  return "?";
+}
+
+TranslationResult translate(const arch::ArchDescription& desc,
+                            const elf::Object& object,
+                            const TranslateOptions& options) {
+  CABT_CHECK(object.machine == elf::Machine::kTrc32,
+             "translator input must be a TRC32 image");
+  const elf::Section* src_text = object.findSection(".text");
+  CABT_CHECK(src_text != nullptr, "source image has no .text");
+  const uint32_t src_text_base = src_text->addr;
+  const uint32_t src_text_size =
+      static_cast<uint32_t>(src_text->data.size());
+
+  // ---- analysis passes ----------------------------------------------------
+  std::vector<SourceBlock> blocks = buildBlocks(object);
+  const AddressAnalysis analysis =
+      analyzeAddresses(desc, blocks, object.entry);
+  if (options.instruction_oriented) {
+    blocks = splitPerInstruction(blocks);
+  }
+  computeStaticCycles(desc, blocks);
+  if (options.level >= DetailLevel::kICache) {
+    CABT_CHECK(desc.icache.enabled,
+               "icache detail level requires an enabled icache model");
+    computeCacheAnalysisBlocks(desc.icache, blocks);
+  }
+
+  bool has_indirect = false;
+  for (const SourceBlock& b : blocks) {
+    for (const trc::Instr& in : b.instrs) {
+      has_indirect |= in.cls() == arch::OpClass::kBranchInd;
+    }
+  }
+
+  // ---- lowering -------------------------------------------------------------
+  LowerContext ctx;
+  ctx.desc = &desc;
+  ctx.addresses = &analysis;
+  ctx.options = options;
+  ctx.has_indirect_jumps = has_indirect;
+  ctx.source_text_base = src_text_base;
+  ctx.dispatch_reg =
+      options.dispatch_reg == 0xff ? kDispatchReg : options.dispatch_reg;
+  lowerBlocks(ctx, blocks);
+  if (options.instruction_oriented) {
+    for (SourceBlock& b : blocks) {
+      XOp y;
+      y.op = makeOp(VOpc::kYield, kNoReg);
+      b.code.insert(b.code.begin(), y);
+    }
+  }
+
+  // ---- prologue -------------------------------------------------------------
+  std::vector<XOp> prologue;
+  pushConst(prologue, kSyncBaseReg, kSyncDeviceBase);
+  {
+    XOp z;
+    z.op = makeOp(VOpc::kMvk, kCorrReg, kNoReg, kNoReg, 0);
+    prologue.push_back(z);
+  }
+  if (has_indirect) {
+    pushConst(prologue, ctx.dispatch_reg,
+              options.jump_table_base - 2u * src_text_base);
+  }
+  if (options.level >= DetailLevel::kICache) {
+    pushConst(prologue, kCacheBaseReg, options.cache_data_base);
+  }
+  {
+    XOp b;
+    b.op = makeOp(VOpc::kB, kNoReg);
+    b.fixup = XOp::Fixup::kBranchToBlock;
+    b.fixup_data = object.entry;
+    prologue.push_back(b);
+  }
+
+  // ---- scheduling -------------------------------------------------------------
+  ScheduledBlock prologue_sched = scheduleBlock(prologue);
+  std::vector<ScheduledBlock> scheduled;
+  scheduled.reserve(blocks.size());
+  for (const SourceBlock& b : blocks) {
+    scheduled.push_back(scheduleBlock(b.code));
+  }
+  const bool need_routine =
+      options.level >= DetailLevel::kICache &&
+      options.inline_cache_threshold != 1;
+  ScheduledBlock routine_sched;
+  if (need_routine) {
+    routine_sched =
+        scheduleBlock(buildCacheRoutine(desc.icache, /*inline_body=*/false));
+  }
+
+  // ---- layout -------------------------------------------------------------
+  TranslationResult result;
+  uint32_t cursor = options.text_base;
+  const auto layoutUnit = [&cursor](ScheduledBlock& sb) {
+    const uint32_t start = cursor;
+    for (vliw::Packet& p : sb.packets) {
+      p.addr = cursor;
+      cursor += p.sizeBytes();
+    }
+    return start;
+  };
+  layoutUnit(prologue_sched);
+  std::map<uint32_t, uint32_t> block_tgt;  // source block addr -> target
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const uint32_t tgt = layoutUnit(scheduled[i]);
+    block_tgt.emplace(blocks[i].addr, tgt);
+    BlockInfo info;
+    info.src_addr = blocks[i].addr;
+    info.tgt_addr = tgt;
+    info.num_instrs = static_cast<uint32_t>(blocks[i].instrs.size());
+    info.static_cycles = blocks[i].static_cycles;
+    info.cabs = blocks[i].cabs;
+    result.blocks.emplace(blocks[i].addr, info);
+    if (options.instruction_oriented) {
+      result.instr_map.emplace(blocks[i].addr, tgt);
+    }
+  }
+  const uint32_t routine_addr = need_routine ? layoutUnit(routine_sched)
+                                             : 0;
+
+  // ---- fixups -------------------------------------------------------------
+  const auto applyFixups = [&](ScheduledBlock& sb) {
+    for (const ScheduledBlock::PendingFixup& f : sb.fixups) {
+      MachineOp& op = sb.packets[f.packet].ops[f.op];
+      switch (f.fixup) {
+        case XOp::Fixup::kBranchToBlock: {
+          const auto it = block_tgt.find(f.data);
+          CABT_CHECK(it != block_tgt.end(),
+                     "branch to " << hex32(f.data)
+                                  << " which is not a block leader");
+          op.imm = static_cast<int32_t>(it->second);
+          break;
+        }
+        case XOp::Fixup::kBranchToRoutine:
+          CABT_CHECK(need_routine, "call without a cache routine");
+          op.imm = static_cast<int32_t>(routine_addr);
+          break;
+        case XOp::Fixup::kRetAddrLo:
+        case XOp::Fixup::kRetAddrHi: {
+          CABT_CHECK(f.data < sb.call_returns.size(), "bad call id");
+          const size_t ret_packet = sb.call_returns[f.data];
+          CABT_CHECK(ret_packet < sb.packets.size(),
+                     "call return past the end of the block");
+          const uint32_t ret = sb.packets[ret_packet].addr;
+          op.imm = f.fixup == XOp::Fixup::kRetAddrLo
+                       ? static_cast<int16_t>(ret & 0xffffu)
+                       : static_cast<int32_t>(ret >> 16);
+          break;
+        }
+        case XOp::Fixup::kNone:
+          break;
+      }
+    }
+  };
+  applyFixups(prologue_sched);
+  for (ScheduledBlock& sb : scheduled) {
+    applyFixups(sb);
+  }
+
+  // ---- emission -------------------------------------------------------------
+  std::vector<vliw::Packet> all;
+  const auto append = [&all](ScheduledBlock& sb) {
+    for (vliw::Packet& p : sb.packets) {
+      all.push_back(std::move(p));
+    }
+  };
+  append(prologue_sched);
+  for (ScheduledBlock& sb : scheduled) {
+    append(sb);
+  }
+  if (need_routine) {
+    append(routine_sched);
+  }
+  std::vector<uint8_t> code = vliw::encodeProgram(all, options.text_base);
+  CABT_CHECK(options.text_base + code.size() == cursor,
+             "layout and encoder disagree about code size");
+
+  elf::Object& image = result.image;
+  image.machine = elf::Machine::kV6x;
+  image.entry = options.text_base;
+  {
+    elf::Section text;
+    text.name = options.text_section_name;
+    text.addr = options.text_base;
+    text.executable = true;
+    text.data = std::move(code);
+    image.sections.push_back(std::move(text));
+  }
+
+  // Data sections move to their remapped target addresses.
+  for (const elf::Section& s : object.sections) {
+    if (s.name == ".text") {
+      continue;
+    }
+    elf::Section copy = s;
+    const MemRegion* region = desc.memory_map.find(s.addr);
+    if (region != nullptr) {
+      CABT_CHECK(region->contains(s.addr + s.sizeInMemory() - 1),
+                 "section '" << s.name << "' spans memory regions");
+      copy.addr = region->remap(s.addr);
+    }
+    image.sections.push_back(std::move(copy));
+  }
+
+  // Address-translation table for indirect jumps: one word per source
+  // halfword; entries at block leaders point at the translated block.
+  if (has_indirect) {
+    elf::Section table;
+    table.name = ".jumptab";
+    table.addr = options.jump_table_base;
+    table.writable = false;
+    table.data.assign(static_cast<size_t>(src_text_size) * 2, 0);
+    for (const auto& [src, tgt] : block_tgt) {
+      const uint32_t off = (src - src_text_base) * 2;
+      for (int i = 0; i < 4; ++i) {
+        table.data[off + i] = static_cast<uint8_t>(tgt >> (8 * i));
+      }
+    }
+    image.sections.push_back(std::move(table));
+  }
+
+  // Cache state area (paper: "At the end of the translated program space
+  // for cache data is added"), initialised to the invalid/LRU-reset state
+  // of the behavioural model.
+  if (options.level >= DetailLevel::kICache) {
+    elf::Section cachedata;
+    cachedata.name = ".cachedata";
+    cachedata.addr = options.cache_data_base;
+    cachedata.writable = true;
+    const uint32_t stride = (desc.icache.ways + 1) * 4;
+    cachedata.data.assign(static_cast<size_t>(desc.icache.sets) * stride, 0);
+    uint32_t init_lru = 0;
+    for (uint32_t w = 0; w < desc.icache.ways; ++w) {
+      init_lru |= w << (8 * w);
+    }
+    for (uint32_t set = 0; set < desc.icache.sets; ++set) {
+      const uint32_t off = set * stride + desc.icache.ways * 4;
+      for (int i = 0; i < 4; ++i) {
+        cachedata.data[off + i] = static_cast<uint8_t>(init_lru >> (8 * i));
+      }
+    }
+    image.sections.push_back(std::move(cachedata));
+  }
+
+  for (const auto& [src, tgt] : block_tgt) {
+    image.symbols.push_back(
+        {"blk_" + hex32(src), tgt, 0, elf::SymbolBinding::kLocal});
+  }
+
+  // ---- stats -------------------------------------------------------------
+  TranslationStats& st = result.stats;
+  st.blocks = blocks.size();
+  for (const SourceBlock& b : blocks) {
+    st.source_instructions += b.instrs.size();
+    st.cabs += b.cabs.size();
+  }
+  for (const vliw::Packet& p : all) {
+    ++st.packets;
+    st.machine_ops += p.ops.size();
+  }
+  st.code_bytes =
+      image.findSection(options.text_section_name)->data.size();
+  st.io_accesses_classified = analysis.io_accesses;
+  st.ram_accesses_classified = analysis.ram_accesses;
+  st.unknown_base_accesses = analysis.unknown_accesses;
+  st.rewritten_movha = analysis.movha_rewrites.size();
+  return result;
+}
+
+}  // namespace cabt::xlat

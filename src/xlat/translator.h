@@ -1,0 +1,109 @@
+// The cycle-accurate static binary translator (the paper's contribution).
+//
+// Translates a TRC32 ELF image into an annotated V6X ELF image following
+// the paper's flow (Fig. 1):
+//   decode -> basic blocks -> base-address analysis -> static cycle
+//   calculation -> insertion of cycle generation code -> insertion of
+//   dynamic correction code -> scheduling/binding -> object file.
+//
+// Four detail levels (paper section 3.2; level 0 is the paper's
+// "C6x without cycle information" speed baseline):
+//   kFunctional     no timing annotation at all
+//   kStatic         per-block static cycle generation (Fig. 2)
+//   kBranchPredict  + dynamic branch-prediction correction (section 3.4.1)
+//   kICache         + dynamic instruction-cache simulation (section 3.4.2)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/arch.h"
+#include "elf/elf.h"
+#include "trc/isa.h"
+
+namespace cabt::xlat {
+
+enum class DetailLevel : uint8_t {
+  kFunctional = 0,
+  kStatic = 1,
+  kBranchPredict = 2,
+  kICache = 3,
+};
+
+const char* detailLevelName(DetailLevel level);
+
+struct TranslateOptions {
+  DetailLevel level = DetailLevel::kStatic;
+  /// Base address of the translated code in the V6X address space.
+  uint32_t text_base = 0x0010'0000;
+  /// Inline the cache-correction routine into blocks with at least this
+  /// many source instructions instead of calling it (paper: "In large
+  /// basic blocks, this code can be included into the basic block").
+  /// 0 disables inlining entirely.
+  uint32_t inline_cache_threshold = 0;
+  /// Instruction-oriented cycle generation: every source instruction
+  /// becomes its own annotated unit followed by a YIELD into the debug
+  /// runtime (paper section 3.5; used for single-stepping).
+  bool instruction_oriented = false;
+  /// Placement of the translator-managed data structures; the debugger
+  /// overrides these for the second image of its dual translation so
+  /// both can coexist in one address space (the cache state area is
+  /// shared on purpose).
+  uint32_t jump_table_base = 0x0020'0000;
+  uint32_t cache_data_base = 0x0028'0000;
+  /// Section name of the emitted code (".text" by default).
+  std::string text_section_name = ".text";
+  /// Register holding the indirect-jump dispatch constant; the debugger's
+  /// second image uses kAltDispatchReg so both images can coexist.
+  uint8_t dispatch_reg = 0xff;  ///< 0xff = default (kDispatchReg)
+};
+
+/// One cache analysis block (paper section 3.4.2): a maximal run of
+/// instructions within a basic block whose first bytes share a cache line.
+struct CacheAnalysisBlock {
+  uint32_t first_addr = 0;
+  uint32_t tag_word = 0;    ///< (tag << 1) | valid, as stored in memory
+  uint32_t set_offset = 0;  ///< byte offset of the set's state in the area
+};
+
+/// Per-source-block translation record (also drives debugging).
+struct BlockInfo {
+  uint32_t src_addr = 0;
+  uint32_t tgt_addr = 0;  ///< address of the block's first execute packet
+  uint32_t num_instrs = 0;
+  uint32_t static_cycles = 0;  ///< n of the block's "start cycle generation"
+  std::vector<CacheAnalysisBlock> cabs;
+};
+
+struct TranslationStats {
+  uint64_t source_instructions = 0;  ///< static count
+  uint64_t blocks = 0;
+  uint64_t cabs = 0;
+  uint64_t machine_ops = 0;
+  uint64_t packets = 0;
+  uint64_t code_bytes = 0;
+  uint64_t io_accesses_classified = 0;  ///< mem ops with statically known IO
+  uint64_t ram_accesses_classified = 0;
+  uint64_t unknown_base_accesses = 0;
+  uint64_t rewritten_movha = 0;  ///< base addresses changed to target space
+};
+
+struct TranslationResult {
+  elf::Object image;
+  /// Source basic-block address -> block record (tgt_addr filled in).
+  std::map<uint32_t, BlockInfo> blocks;
+  /// Source instruction address -> target packet address (only in
+  /// instruction-oriented mode).
+  std::map<uint32_t, uint32_t> instr_map;
+  TranslationStats stats;
+};
+
+/// Translates `object` (a TRC32 ELF image) for the source processor
+/// described by `desc`. Throws cabt::Error on unsupported input.
+TranslationResult translate(const arch::ArchDescription& desc,
+                            const elf::Object& object,
+                            const TranslateOptions& options = {});
+
+}  // namespace cabt::xlat

@@ -1,0 +1,122 @@
+// ELF32 writer/reader round-trip tests.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "elf/elf.h"
+
+namespace cabt::elf {
+namespace {
+
+Object sampleObject() {
+  Object obj;
+  obj.machine = Machine::kTrc32;
+  obj.entry = 0x80000000;
+
+  Section text;
+  text.name = ".text";
+  text.addr = 0x80000000;
+  text.executable = true;
+  text.data = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  obj.sections.push_back(text);
+
+  Section data;
+  data.name = ".data";
+  data.addr = 0xd0000000;
+  data.writable = true;
+  data.data = {0xaa, 0xbb};
+  obj.sections.push_back(data);
+
+  Section bss;
+  bss.name = ".bss";
+  bss.kind = SectionKind::kNobits;
+  bss.addr = 0xd0001000;
+  bss.writable = true;
+  bss.mem_size = 256;
+  obj.sections.push_back(bss);
+
+  obj.symbols.push_back({"_start", 0x80000000, 0, SymbolBinding::kGlobal});
+  obj.symbols.push_back({"buffer", 0xd0001000, 2, SymbolBinding::kLocal});
+  return obj;
+}
+
+TEST(Elf, RoundTripPreservesEverything) {
+  const Object obj = sampleObject();
+  const Object back = read(write(obj));
+
+  EXPECT_EQ(back.machine, obj.machine);
+  EXPECT_EQ(back.entry, obj.entry);
+  ASSERT_EQ(back.sections.size(), obj.sections.size());
+  for (size_t i = 0; i < obj.sections.size(); ++i) {
+    SCOPED_TRACE(obj.sections[i].name);
+    EXPECT_EQ(back.sections[i].name, obj.sections[i].name);
+    EXPECT_EQ(back.sections[i].addr, obj.sections[i].addr);
+    EXPECT_EQ(back.sections[i].kind, obj.sections[i].kind);
+    EXPECT_EQ(back.sections[i].data, obj.sections[i].data);
+    EXPECT_EQ(back.sections[i].sizeInMemory(),
+              obj.sections[i].sizeInMemory());
+    EXPECT_EQ(back.sections[i].writable, obj.sections[i].writable);
+    EXPECT_EQ(back.sections[i].executable, obj.sections[i].executable);
+  }
+  ASSERT_EQ(back.symbols.size(), obj.symbols.size());
+  const Symbol* start = back.findSymbol("_start");
+  ASSERT_NE(start, nullptr);
+  EXPECT_EQ(start->value, 0x80000000u);
+  const Symbol* buffer = back.findSymbol("buffer");
+  ASSERT_NE(buffer, nullptr);
+  EXPECT_EQ(buffer->binding, SymbolBinding::kLocal);
+  EXPECT_EQ(buffer->section, 2);
+}
+
+TEST(Elf, WriteIsDeterministic) {
+  const Object obj = sampleObject();
+  EXPECT_EQ(write(obj), write(obj));
+}
+
+TEST(Elf, DoubleRoundTripIsByteIdentical) {
+  const std::vector<uint8_t> first = write(sampleObject());
+  const std::vector<uint8_t> second = write(read(first));
+  EXPECT_EQ(first, second);
+}
+
+TEST(Elf, SectionLookupHelpers) {
+  const Object obj = sampleObject();
+  EXPECT_NE(obj.findSection(".text"), nullptr);
+  EXPECT_EQ(obj.findSection(".nope"), nullptr);
+  EXPECT_EQ(obj.sectionContaining(0x80000004)->name, ".text");
+  EXPECT_EQ(obj.sectionContaining(0xd0001080)->name, ".bss");
+  EXPECT_EQ(obj.sectionContaining(0x12345678), nullptr);
+}
+
+TEST(Elf, ReadSpansSectionData) {
+  const Object obj = sampleObject();
+  const auto bytes = obj.read(0x80000002, 4);
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{0x03, 0x04, 0x05, 0x06}));
+  // NOBITS reads as zeros.
+  EXPECT_EQ(obj.read(0xd0001000, 2), (std::vector<uint8_t>{0, 0}));
+  EXPECT_THROW(obj.read(0x80000006, 4), Error);  // crosses the end
+}
+
+TEST(Elf, RejectsGarbageInput) {
+  EXPECT_THROW(read({1, 2, 3}), Error);
+  std::vector<uint8_t> bad(64, 0);
+  EXPECT_THROW(read(bad), Error);
+  // Corrupt the magic of a valid file.
+  std::vector<uint8_t> img = write(sampleObject());
+  img[1] = 'X';
+  EXPECT_THROW(read(img), Error);
+}
+
+TEST(Elf, RejectsWrongClass) {
+  std::vector<uint8_t> img = write(sampleObject());
+  img[4] = 2;  // ELFCLASS64
+  EXPECT_THROW(read(img), Error);
+}
+
+TEST(Elf, NobitsSectionWithDataIsRejected) {
+  Object obj = sampleObject();
+  obj.sections[2].data = {1};
+  EXPECT_THROW(write(obj), Error);
+}
+
+}  // namespace
+}  // namespace cabt::elf

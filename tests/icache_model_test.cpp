@@ -1,0 +1,124 @@
+// Behavioural I-cache model tests: hit/miss sequences, LRU replacement,
+// associativity sweeps (parameterised).
+#include <gtest/gtest.h>
+
+#include "arch/icache_model.h"
+
+namespace cabt::arch {
+namespace {
+
+ICacheModel smallCache(uint32_t sets, uint32_t ways) {
+  ICacheModel m;
+  m.sets = sets;
+  m.ways = ways;
+  m.line_bytes = 16;
+  m.miss_penalty = 8;
+  return m;
+}
+
+TEST(ICacheState, ColdMissThenHit) {
+  ICacheState c(smallCache(4, 2));
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x100c));  // same line
+  EXPECT_FALSE(c.access(0x1010));  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(ICacheState, TwoWaySetHoldsTwoLines) {
+  ICacheState c(smallCache(4, 2));
+  // Same set (set stride = sets * line = 64 bytes).
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_FALSE(c.access(0x1040));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1040));
+}
+
+TEST(ICacheState, LruEvictsLeastRecentlyUsed) {
+  ICacheState c(smallCache(4, 2));
+  c.access(0x1000);  // miss, way0
+  c.access(0x1040);  // miss, way1
+  c.access(0x1000);  // hit -> way1 is now LRU
+  c.access(0x1080);  // miss, evicts way1 (0x1040)
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_FALSE(c.access(0x1040));  // was evicted
+}
+
+TEST(ICacheState, DirectMappedConflicts) {
+  ICacheState c(smallCache(4, 1));
+  c.access(0x1000);
+  c.access(0x1040);  // same set, evicts
+  EXPECT_FALSE(c.access(0x1000));
+}
+
+TEST(ICacheState, TagWordCombinesTagAndValid) {
+  EXPECT_EQ(ICacheState::tagWord(0), 1u);
+  EXPECT_EQ(ICacheState::tagWord(0x123), (0x123u << 1) | 1u);
+  ICacheState c(smallCache(4, 2));
+  EXPECT_EQ(c.tagEntry(0, 0), 0u);  // invalid = 0 word
+  c.access(0x1000);
+  const ICacheModel& m = c.model();
+  EXPECT_EQ(c.tagEntry(m.setOf(0x1000), 0), ICacheState::tagWord(
+                                                m.tagOf(0x1000)));
+}
+
+TEST(ICacheState, ResetClearsEverything) {
+  ICacheState c(smallCache(4, 2));
+  c.access(0x1000);
+  c.reset();
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+struct SweepParam {
+  uint32_t sets;
+  uint32_t ways;
+};
+
+class ICacheSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ICacheSweep, WorkingSetEqualToCapacityNeverConflicts) {
+  const auto [sets, ways] = GetParam();
+  ICacheState c(smallCache(sets, ways));
+  const uint32_t lines = sets * ways;
+  const uint32_t line_bytes = c.model().line_bytes;
+  // First pass: all cold misses. Further passes: all hits (LRU keeps a
+  // working set equal to capacity resident under sequential sweep).
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t i = 0; i < lines; ++i) {
+      c.access(0x4000 + i * line_bytes);
+    }
+  }
+  EXPECT_EQ(c.misses(), lines);
+  EXPECT_EQ(c.hits(), 2u * lines);
+}
+
+TEST_P(ICacheSweep, WorkingSetBeyondCapacityThrashes) {
+  const auto [sets, ways] = GetParam();
+  ICacheState c(smallCache(sets, ways));
+  const uint32_t lines = sets * (ways + 1);  // one extra way per set
+  const uint32_t line_bytes = c.model().line_bytes;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint32_t i = 0; i < lines; ++i) {
+      c.access(0x4000 + i * line_bytes);
+    }
+  }
+  // Sequential sweep over ways+1 lines per set with true LRU misses every
+  // single access.
+  EXPECT_EQ(c.misses(), 3u * lines);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ICacheSweep,
+    ::testing::Values(SweepParam{4, 1}, SweepParam{4, 2}, SweepParam{8, 2},
+                      SweepParam{16, 4}, SweepParam{64, 2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "sets" + std::to_string(info.param.sets) + "ways" +
+             std::to_string(info.param.ways);
+    });
+
+}  // namespace
+}  // namespace cabt::arch

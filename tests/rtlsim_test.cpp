@@ -1,0 +1,112 @@
+// RT-level model tests: the cycle-driven pipeline state machine must
+// agree exactly with the reference ISS (same architecture description,
+// independently implemented timing), while recording waveform events.
+#include <gtest/gtest.h>
+
+#include "iss/iss.h"
+#include "rtlsim/rtlsim.h"
+#include "trc/assembler.h"
+#include "workloads/workloads.h"
+
+namespace cabt::rtlsim {
+namespace {
+
+arch::ArchDescription defaultArch() {
+  return arch::ArchDescription::defaultTc10gp();
+}
+
+void expectAgreement(const elf::Object& obj,
+                     const arch::ArchDescription& desc) {
+  iss::Iss ref(desc, obj);
+  ASSERT_EQ(ref.run(), iss::StopReason::kHalted);
+
+  RtlCore rtl(desc, obj);
+  rtl.run();
+  EXPECT_EQ(rtl.stats().cycles, ref.stats().cycles);
+  EXPECT_EQ(rtl.stats().instructions, ref.stats().instructions);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(rtl.d(i), ref.d(i)) << "d" << i;
+    EXPECT_EQ(rtl.a(i), ref.a(i)) << "a" << i;
+  }
+  EXPECT_TRUE(rtl.memory().contentEquals(ref.memory()));
+  EXPECT_GT(rtl.stats().signal_events, rtl.stats().cycles);
+}
+
+TEST(RtlCore, StraightLineAgreesWithIss) {
+  expectAgreement(trc::assemble(R"(
+_start: movi d1, 3
+        movha a0, 0xd000
+        ldw d2, [a0]0
+        add d3, d2, d1
+        mul d4, d3, d3
+        stw d4, [a0]4
+        halt
+)"), defaultArch());
+}
+
+TEST(RtlCore, LoopsAndBranchPenalties) {
+  expectAgreement(trc::assemble(R"(
+_start: movi d0, 25
+        movi d1, 0
+loop:   add d1, d1, d0
+        addi16 d0, -1
+        jnz16 d0, loop
+        halt
+)"), defaultArch());
+}
+
+TEST(RtlCore, CallsAndIndirectJumps) {
+  expectAgreement(trc::assemble(R"(
+_start: movi d0, 5
+        jl f
+        jl f
+        halt
+f:      add d0, d0, d0
+        ret16
+)"), defaultArch());
+}
+
+TEST(RtlCore, ICacheDisabled) {
+  arch::ArchDescription desc = defaultArch();
+  desc.icache.enabled = false;
+  expectAgreement(trc::assemble(R"(
+_start: movi d0, 10
+loop:   addi16 d0, -1
+        jnz16 d0, loop
+        halt
+)"), desc);
+}
+
+TEST(RtlCore, NoDualIssueVariant) {
+  arch::ArchDescription desc = defaultArch();
+  desc.pipeline.dual_issue = false;
+  expectAgreement(trc::assemble(R"(
+_start: movi d1, 4
+        movha a0, 0xd000
+        lea a0, a0, 8
+        stw d1, [a0]0
+        halt
+)"), desc);
+}
+
+class RtlWorkloads : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RtlWorkloads, AgreesWithIssOnWorkload) {
+  const workloads::Workload& w = workloads::get(GetParam());
+  expectAgreement(workloads::assemble(w), defaultArch());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RtlWorkloads,
+                         ::testing::Values("gcd", "dpcm", "fir", "ellip",
+                                           "sieve", "subband", "fibonacci"));
+
+TEST(RtlCore, TraceBufferRecordsEvents) {
+  TraceBuffer buf(16);
+  for (int i = 0; i < 100; ++i) {
+    buf.record(i, 1, i);
+  }
+  EXPECT_EQ(buf.events(), 100u);  // wraps, still counts
+}
+
+}  // namespace
+}  // namespace cabt::rtlsim

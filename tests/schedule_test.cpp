@@ -1,0 +1,190 @@
+// Direct unit tests of the translator's packetizer: packing, latency
+// gaps, volatile/memory ordering, branch padding, call-return handling.
+// (End-to-end correctness is covered by the workload and fuzz tests; this
+// pins the scheduling contract itself.)
+#include <gtest/gtest.h>
+
+#include "vliw/isa.h"
+#include "xlat/internal.h"
+#include "xlat/regmap.h"
+
+namespace cabt::xlat {
+namespace {
+
+using vliw::kNoReg;
+using vliw::MachineOp;
+using vliw::Packet;
+using vliw::VOpc;
+
+XOp op(VOpc opc, uint8_t dst, uint8_t s1 = kNoReg, uint8_t s2 = kNoReg,
+       int32_t imm = 0) {
+  XOp x;
+  x.op.opc = opc;
+  x.op.dst = dst;
+  x.op.src1 = s1;
+  x.op.src2 = s2;
+  x.op.imm = imm;
+  return x;
+}
+
+/// Issue-slot index of the packet containing the op with `dst`, counting
+/// multi-cycle NOPs as their full width.
+int slotOf(const std::vector<Packet>& packets, uint8_t dst) {
+  int slot = 0;
+  for (const Packet& p : packets) {
+    for (const MachineOp& m : p.ops) {
+      if (m.dst == dst && m.opc != VOpc::kNop) {
+        return slot;
+      }
+    }
+    slot += p.ops.size() == 1 && p.ops[0].opc == VOpc::kNop
+                ? p.ops[0].imm
+                : 1;
+  }
+  return -1;
+}
+
+size_t totalSlots(const std::vector<Packet>& packets) {
+  size_t slots = 0;
+  for (const Packet& p : packets) {
+    slots += p.ops.size() == 1 && p.ops[0].opc == VOpc::kNop
+                 ? static_cast<size_t>(p.ops[0].imm)
+                 : 1u;
+  }
+  return slots;
+}
+
+TEST(Scheduler, IndependentOpsPackTogether) {
+  // Four independent ALU ops fit in one packet (two L units, two S-capable
+  // slots).
+  std::vector<XOp> ops;
+  for (int i = 0; i < 4; ++i) {
+    ops.push_back(op(VOpc::kAdd, vliw::regA(10 + i), vliw::regA(20),
+                     vliw::regA(21)));
+  }
+  const ScheduledBlock sb = scheduleBlock(ops);
+  ASSERT_EQ(sb.packets.size(), 1u);
+  EXPECT_EQ(sb.packets[0].ops.size(), 4u);
+  EXPECT_NO_THROW(vliw::validatePacket(sb.packets[0]));
+}
+
+TEST(Scheduler, RawDependencySplitsPackets) {
+  std::vector<XOp> ops;
+  ops.push_back(op(VOpc::kAdd, vliw::regA(10), vliw::regA(20), vliw::regA(21)));
+  ops.push_back(op(VOpc::kAdd, vliw::regA(11), vliw::regA(10), vliw::regA(21)));
+  const ScheduledBlock sb = scheduleBlock(ops);
+  EXPECT_EQ(slotOf(sb.packets, vliw::regA(11)),
+            slotOf(sb.packets, vliw::regA(10)) + 1);
+}
+
+TEST(Scheduler, LoadConsumerWaitsFiveSlots) {
+  std::vector<XOp> ops;
+  ops.push_back(op(VOpc::kLdw, vliw::regA(10), vliw::regB(20)));
+  ops.push_back(op(VOpc::kAdd, vliw::regA(11), vliw::regA(10), vliw::regA(10)));
+  const ScheduledBlock sb = scheduleBlock(ops);
+  EXPECT_EQ(slotOf(sb.packets, vliw::regA(11)),
+            slotOf(sb.packets, vliw::regA(10)) + 5);
+}
+
+TEST(Scheduler, MpyConsumerWaitsTwoSlots) {
+  std::vector<XOp> ops;
+  ops.push_back(op(VOpc::kMpy, vliw::regA(10), vliw::regA(20), vliw::regA(21)));
+  ops.push_back(op(VOpc::kAdd, vliw::regA(11), vliw::regA(10), vliw::regA(10)));
+  const ScheduledBlock sb = scheduleBlock(ops);
+  EXPECT_EQ(slotOf(sb.packets, vliw::regA(11)),
+            slotOf(sb.packets, vliw::regA(10)) + 2);
+}
+
+TEST(Scheduler, IndependentOpHidesLoadLatency) {
+  std::vector<XOp> ops;
+  ops.push_back(op(VOpc::kLdw, vliw::regA(10), vliw::regB(20)));
+  ops.push_back(op(VOpc::kAdd, vliw::regA(12), vliw::regA(20), vliw::regA(21)));
+  const ScheduledBlock sb = scheduleBlock(ops);
+  // The independent add shares the load's packet.
+  EXPECT_EQ(slotOf(sb.packets, vliw::regA(12)),
+            slotOf(sb.packets, vliw::regA(10)));
+}
+
+TEST(Scheduler, VolatileAccessesStayStrictlyOrdered) {
+  std::vector<XOp> ops;
+  XOp a = op(VOpc::kStw, vliw::regA(10), vliw::regA(4), kNoReg, 0);
+  a.volatile_mem = true;
+  XOp b = op(VOpc::kLdw, vliw::regA(11), vliw::regA(4), kNoReg, 4);
+  b.volatile_mem = true;
+  ops.push_back(a);
+  ops.push_back(b);
+  const ScheduledBlock sb = scheduleBlock(ops);
+  EXPECT_EQ(slotOf(sb.packets, vliw::regA(11)), 1);
+}
+
+TEST(Scheduler, TerminatorBranchGetsFiveDelaySlots) {
+  std::vector<XOp> ops;
+  ops.push_back(op(VOpc::kAdd, vliw::regA(10), vliw::regA(20), vliw::regA(21)));
+  XOp b = op(VOpc::kB, kNoReg);
+  b.fixup = XOp::Fixup::kBranchToBlock;
+  b.fixup_data = 0x80000000;
+  ops.push_back(b);
+  const ScheduledBlock sb = scheduleBlock(ops);
+  // add+branch may share slot 0; five empty slots follow as one NOP 5.
+  EXPECT_EQ(totalSlots(sb.packets), 6u);
+  const Packet& last = sb.packets.back();
+  ASSERT_EQ(last.ops.size(), 1u);
+  EXPECT_EQ(last.ops[0].opc, VOpc::kNop);
+  EXPECT_EQ(last.ops[0].imm, 5);
+  ASSERT_EQ(sb.fixups.size(), 1u);
+  EXPECT_EQ(sb.fixups[0].fixup, XOp::Fixup::kBranchToBlock);
+}
+
+TEST(Scheduler, CallKeepsDelaySlotsEmptyAndRecordsReturn) {
+  std::vector<XOp> ops;
+  XOp lo = op(VOpc::kMvk, kCacheRetReg, kNoReg, kNoReg, 0);
+  lo.fixup = XOp::Fixup::kRetAddrLo;
+  XOp hi = op(VOpc::kMvkh, kCacheRetReg, kNoReg, kNoReg, 0);
+  hi.fixup = XOp::Fixup::kRetAddrHi;
+  XOp call = op(VOpc::kB, kNoReg);
+  call.fixup = XOp::Fixup::kBranchToRoutine;
+  call.is_call = true;
+  ops.push_back(lo);
+  ops.push_back(hi);
+  ops.push_back(call);
+  // Something after the call: must land at the return point.
+  ops.push_back(op(VOpc::kAdd, vliw::regA(10), vliw::regA(20),
+                   vliw::regA(21)));
+  const ScheduledBlock sb = scheduleBlock(ops);
+  ASSERT_EQ(sb.call_returns.size(), 1u);
+  const size_t ret_packet = sb.call_returns[0];
+  ASSERT_LT(ret_packet, sb.packets.size());
+  // The return packet holds the post-call op.
+  EXPECT_EQ(sb.packets[ret_packet].ops[0].dst, vliw::regA(10));
+}
+
+TEST(Scheduler, AllEmittedPacketsValidate) {
+  // A busy mix; every resulting packet must satisfy the ISA rules.
+  std::vector<XOp> ops;
+  for (int i = 0; i < 6; ++i) {
+    ops.push_back(op(VOpc::kMpy, vliw::regA(8 + i), vliw::regA(20),
+                     vliw::regA(21)));
+    ops.push_back(op(VOpc::kShl, vliw::regB(1 + i), vliw::regA(20),
+                     vliw::regA(21)));
+    ops.push_back(op(VOpc::kLdw, vliw::regA(14), vliw::regB(20), kNoReg,
+                     4 * i));
+    ops.push_back(op(VOpc::kStw, vliw::regA(14), vliw::regB(21), kNoReg,
+                     4 * i));
+  }
+  const ScheduledBlock sb = scheduleBlock(ops);
+  for (const Packet& p : sb.packets) {
+    EXPECT_NO_THROW(vliw::validatePacket(p));
+  }
+}
+
+TEST(Scheduler, FallThroughBlockDrainsTrailingLoad) {
+  // A trailing load must be followed by enough padding that its write
+  // commits before the next block could read it.
+  std::vector<XOp> ops;
+  ops.push_back(op(VOpc::kLdw, vliw::regA(10), vliw::regB(20)));
+  const ScheduledBlock sb = scheduleBlock(ops);
+  EXPECT_GE(totalSlots(sb.packets), 5u);  // load + 4 drain slots
+}
+
+}  // namespace
+}  // namespace cabt::xlat

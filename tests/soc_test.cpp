@@ -1,0 +1,146 @@
+// SoC bus, peripheral and synchronization-device tests.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "soc/bus.h"
+#include "soc/peripherals.h"
+#include "soc/standard_board.h"
+#include "soc/sync_device.h"
+
+namespace cabt::soc {
+namespace {
+
+TEST(SocBus, RoutesToAttachedDevices) {
+  SocBus bus;
+  ScratchDevice scratch;
+  bus.attach(&scratch, 0xf0000300, 0x40);
+  EXPECT_TRUE(bus.covers(0xf0000300));
+  EXPECT_TRUE(bus.covers(0xf000033c));
+  EXPECT_FALSE(bus.covers(0xf0000340));
+  bus.write(0xf0000304, 77, 4);
+  EXPECT_EQ(bus.read(0xf0000304, 4), 77u);
+  EXPECT_EQ(scratch.reg(1), 77u);
+}
+
+TEST(SocBus, UnmappedAccessThrows) {
+  SocBus bus;
+  EXPECT_THROW(bus.read(0x1000, 4), Error);
+  EXPECT_THROW(bus.write(0x1000, 0, 4), Error);
+}
+
+TEST(SocBus, RejectsOverlappingWindows) {
+  SocBus bus;
+  ScratchDevice a;
+  ScratchDevice b;
+  bus.attach(&a, 0x100, 0x40);
+  EXPECT_THROW(bus.attach(&b, 0x13c, 0x40), Error);
+}
+
+TEST(SocBus, LogsTransactionsWithCycleStamps) {
+  SocBus bus;
+  ScratchDevice scratch;
+  bus.attach(&scratch, 0x0, 0x40);
+  bus.clockCycle();
+  bus.clockCycle();
+  bus.write(0x0, 5, 4);
+  bus.clockCycle();
+  bus.read(0x0, 4);
+  ASSERT_EQ(bus.log().size(), 2u);
+  EXPECT_EQ(bus.log()[0].soc_cycle, 2u);
+  EXPECT_TRUE(bus.log()[0].is_write);
+  EXPECT_EQ(bus.log()[1].soc_cycle, 3u);
+  EXPECT_FALSE(bus.log()[1].is_write);
+}
+
+TEST(Timer, CountsOnlyClockedCycles) {
+  SocBus bus;
+  TimerDevice timer;
+  bus.attach(&timer, 0x0, 0x10);
+  EXPECT_EQ(bus.read(0x0, 4), 0u);
+  for (int i = 0; i < 5; ++i) {
+    bus.clockCycle();
+  }
+  EXPECT_EQ(bus.read(0x0, 4), 5u);
+  bus.write(0x8, 0, 4);  // reset
+  EXPECT_EQ(bus.read(0x0, 4), 0u);
+}
+
+TEST(CharDev, CollectsOutputWithStamps) {
+  SocBus bus;
+  CharDevice chardev;
+  bus.attach(&chardev, 0x0, 0x10);
+  bus.clockCycle();
+  bus.write(0x0, 'h', 4);
+  bus.clockCycle();
+  bus.write(0x0, 'i', 4);
+  EXPECT_EQ(chardev.output(), "hi");
+  EXPECT_EQ(chardev.stamps(), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(bus.read(0x4, 4), 2u);
+}
+
+TEST(SyncDevice, GeneratesExactlyRequestedCycles) {
+  SocBus bus;
+  TimerDevice timer;
+  bus.attach(&timer, 0x0, 0x10);
+  SyncDevice sync(&bus, /*rate=*/1);
+  sync.start(5);
+  EXPECT_TRUE(sync.busy());
+  unsigned emitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    emitted += sync.tickVliwCycle() ? 1 : 0;
+  }
+  EXPECT_EQ(emitted, 5u);
+  EXPECT_FALSE(sync.busy());
+  EXPECT_EQ(sync.totalGenerated(), 5u);
+  EXPECT_EQ(timer.count(), 5u);  // the attached hardware saw every cycle
+}
+
+TEST(SyncDevice, RateDividesVliwClock) {
+  SocBus bus;
+  SyncDevice sync(&bus, /*rate=*/4);
+  sync.start(2);
+  unsigned ticks = 0;
+  while (sync.busy()) {
+    sync.tickVliwCycle();
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, 8u);  // 2 SoC cycles at 4 VLIW cycles each
+}
+
+TEST(SyncDevice, CorrectionAccumulates) {
+  SocBus bus;
+  SyncDevice sync(&bus, 1);
+  sync.start(3);
+  sync.correct(2);
+  unsigned emitted = 0;
+  while (sync.busy()) {
+    emitted += sync.tickVliwCycle() ? 1 : 0;
+  }
+  EXPECT_EQ(emitted, 5u);
+  EXPECT_EQ(sync.correctionTotal(), 2u);
+  EXPECT_EQ(sync.numStarts(), 1u);
+  EXPECT_EQ(sync.numCorrections(), 1u);
+}
+
+TEST(SyncDevice, IdleTicksEmitNothing) {
+  SocBus bus;
+  SyncDevice sync(&bus, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(sync.tickVliwCycle());
+  }
+  EXPECT_EQ(sync.totalGenerated(), 0u);
+  EXPECT_EQ(bus.socCycle(), 0u);
+}
+
+TEST(StandardBoard, AttachesPeripheralsAtStandardOffsets) {
+  StandardPeripherals board(0xf0000000);
+  board.bus.write(0xf0000200, 'x', 4);
+  EXPECT_EQ(board.chardev.output(), "x");
+  board.bus.clockCycle();
+  EXPECT_EQ(board.bus.read(0xf0000100, 4), 1u);  // timer
+  board.bus.write(0xf0000300, 9, 4);
+  EXPECT_EQ(board.scratch.reg(0), 9u);
+}
+
+}  // namespace
+}  // namespace cabt::soc

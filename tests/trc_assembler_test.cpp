@@ -1,0 +1,234 @@
+// Assembler tests: full programs, directives, expressions, errors, and a
+// disassembly round trip over the decoded text.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "trc/assembler.h"
+#include "trc/isa.h"
+#include "trc/program.h"
+
+namespace cabt::trc {
+namespace {
+
+TEST(Assembler, MinimalProgram) {
+  const elf::Object obj = assemble(R"(
+_start: movi d0, 1
+        halt
+)");
+  const elf::Section* text = obj.findSection(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->addr, 0x80000000u);
+  EXPECT_EQ(text->data.size(), 8u);  // movi (4) + halt (4)
+  EXPECT_EQ(obj.entry, 0x80000000u);
+  ASSERT_NE(obj.findSymbol("_start"), nullptr);
+}
+
+TEST(Assembler, MixedWidthsAndLabels) {
+  const elf::Object obj = assemble(R"(
+_start: movi16 d0, 10      ; 2 bytes
+loop:   addi16 d0, -1      ; 2 bytes
+        jnz16 d0, loop     ; 2 bytes
+        halt
+)");
+  const auto instrs = decodeText(obj);
+  ASSERT_EQ(instrs.size(), 4u);
+  EXPECT_EQ(instrs[0].opc, Opc::kMovi16);
+  EXPECT_EQ(instrs[2].opc, Opc::kJnz16);
+  // jnz16 at 0x80000004 targets loop at 0x80000002 -> disp -1.
+  EXPECT_EQ(instrs[2].imm, -1);
+  EXPECT_EQ(instrs[2].branchTarget(), 0x80000002u);
+}
+
+TEST(Assembler, DataDirectivesAndSymbols) {
+  const elf::Object obj = assemble(R"(
+_start: halt
+        .data
+tbl:    .word 1, 2, 0x30
+vals:   .half 5, -1
+ch:     .byte 7
+        .align 4
+after:  .word tbl
+)");
+  const elf::Section* data = obj.findSection(".data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->addr, 0xd0000000u);
+  EXPECT_EQ(obj.findSymbol("tbl")->value, 0xd0000000u);
+  EXPECT_EQ(obj.findSymbol("vals")->value, 0xd000000cu);
+  EXPECT_EQ(obj.findSymbol("ch")->value, 0xd0000010u);
+  EXPECT_EQ(obj.findSymbol("after")->value, 0xd0000014u);
+  // .word tbl stores the symbol's address.
+  const auto bytes = obj.read(0xd0000014, 4);
+  EXPECT_EQ(bytes[3], 0xd0);
+  // .half -1 encodes as 0xffff.
+  EXPECT_EQ(obj.read(0xd000000e, 2), (std::vector<uint8_t>{0xff, 0xff}));
+}
+
+TEST(Assembler, BssSection) {
+  const elf::Object obj = assemble(R"(
+_start: halt
+        .data
+x:      .word 1
+        .bss
+buf:    .space 128
+)");
+  const elf::Section* bss = obj.findSection(".bss");
+  ASSERT_NE(bss, nullptr);
+  EXPECT_EQ(bss->kind, elf::SectionKind::kNobits);
+  EXPECT_EQ(bss->mem_size, 128u);
+  // bss is placed after data, 16-aligned.
+  EXPECT_EQ(bss->addr, 0xd0000010u);
+  EXPECT_EQ(obj.findSymbol("buf")->value, 0xd0000010u);
+}
+
+TEST(Assembler, HiLoMaterialiseAddresses) {
+  const elf::Object obj = assemble(R"(
+_start: movha a0, hi(var)
+        lea a0, a0, lo(var)
+        halt
+        .data
+        .space 0x9000
+var:    .word 42
+)");
+  // var = 0xd0009000; hi() carries when lo is negative.
+  const uint32_t var = obj.findSymbol("var")->value;
+  EXPECT_EQ(var, 0xd0009000u);
+  EXPECT_EQ((hi16(var) << 16) + static_cast<uint32_t>(lo16(var)), var);
+  const auto instrs = decodeText(obj);
+  EXPECT_EQ(static_cast<uint32_t>(instrs[0].imm), hi16(var));
+  EXPECT_EQ(instrs[1].imm, lo16(var));
+}
+
+TEST(Assembler, HiLoCarryCase) {
+  // lo(0x0001_8000) = -32768, so hi() must round up to 2.
+  EXPECT_EQ(hi16(0x18000), 2u);
+  EXPECT_EQ(lo16(0x18000), -32768);
+  EXPECT_EQ((hi16(0x18000) << 16) + static_cast<uint32_t>(lo16(0x18000)),
+            0x18000u);
+}
+
+TEST(Assembler, MemoryOperands) {
+  const elf::Object obj = assemble(R"(
+_start: ldw d1, [a0]8
+        stw d1, [a0]-4
+        ldw d2, [a3]
+        halt
+)");
+  const auto instrs = decodeText(obj);
+  EXPECT_EQ(instrs[0].ra, 0);
+  EXPECT_EQ(instrs[0].imm, 8);
+  EXPECT_EQ(instrs[1].imm, -4);
+  EXPECT_EQ(instrs[2].imm, 0);
+  EXPECT_EQ(instrs[2].ra, 3);
+}
+
+TEST(Assembler, ExpressionArithmetic) {
+  const elf::Object obj = assemble(R"(
+_start: movi d0, 2+3
+        movi d1, tbl+4 - tbl
+        halt
+        .data
+tbl:    .word 0, 0
+)");
+  const auto instrs = decodeText(obj);
+  EXPECT_EQ(instrs[0].imm, 5);
+  EXPECT_EQ(instrs[1].imm, 4);
+}
+
+TEST(Assembler, AsciiDirective) {
+  const elf::Object obj = assemble(R"(
+_start: halt
+        .data
+msg:    .ascii "hi\n"
+)");
+  const auto bytes = obj.read(0xd0000000, 3);
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{'h', 'i', '\n'}));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const elf::Object obj = assemble(R"(
+# full-line comment
+_start:            ; label alone
+        halt       # trailing comment
+)");
+  EXPECT_EQ(decodeText(obj).size(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  const auto expectErrorAt = [](std::string_view src, const char* fragment) {
+    try {
+      assemble(src);
+      FAIL() << "expected error for: " << fragment;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << e.what();
+    }
+  };
+  expectErrorAt("_start: frobnicate d0\n halt\n", "unknown mnemonic");
+  expectErrorAt("_start: add d0, d1\n", "wrong operand count");
+  expectErrorAt("_start: add d0, d1, a2\n", "wrong register bank");
+  expectErrorAt("_start: j nowhere\n", "undefined symbol");
+  expectErrorAt("_start: movi d0, 0x12345\n", "immediate overflow");
+  expectErrorAt("x: halt\nx: halt\n", "duplicate label");
+  expectErrorAt("_start: .data\n  add d0, d1, d2\n", "instr outside text");
+  expectErrorAt("_start: ldw d1, a0\n halt\n", "bad memory operand");
+}
+
+TEST(Assembler, EntrySymbolOption) {
+  AsmOptions opts;
+  opts.entry_symbol = "main";
+  const elf::Object obj = assemble(R"(
+pre:    nop
+main:   halt
+)", opts);
+  EXPECT_EQ(obj.entry, 0x80000004u);
+}
+
+TEST(Assembler, DisassembleReassembleRoundTrip) {
+  const elf::Object obj = assemble(R"(
+_start: movi d0, 100
+        movha a2, 0xd000
+        lea a2, a2, 0x10
+loop:   ldw d1, [a2]0
+        add d3, d3, d1
+        addi16 d0, -1
+        jnz16 d0, loop
+        stw d3, [a2]4
+        halt
+)");
+  // Disassemble every instruction and re-assemble the result: the decoded
+  // streams must match.
+  std::string reasm = "_start:\n";
+  for (const Instr& i : decodeText(obj)) {
+    reasm += disassemble(i) + "\n";
+  }
+  const elf::Object obj2 = assemble(reasm);
+  const auto a = decodeText(obj);
+  const auto b = decodeText(obj2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].opc, b[i].opc) << "instr " << i;
+    EXPECT_EQ(a[i].imm, b[i].imm) << "instr " << i;
+  }
+}
+
+TEST(Leaders, FindsTargetsAndFallThroughs) {
+  const elf::Object obj = assemble(R"(
+_start: movi d0, 3
+loop:   addi16 d0, -1
+        jnz16 d0, loop
+        jl func
+        halt
+func:   ret16
+)");
+  const auto leaders = findLeaders(obj);
+  // _start (entry), loop (target), after-jnz, func (target), after-jl.
+  EXPECT_TRUE(leaders.count(0x80000000));  // entry
+  EXPECT_TRUE(leaders.count(0x80000004));  // loop
+  EXPECT_TRUE(leaders.count(0x80000008));  // after jnz16 (jl)
+  EXPECT_TRUE(leaders.count(0x8000000c));  // after jl (halt)
+  EXPECT_TRUE(leaders.count(0x80000010));  // func
+  EXPECT_EQ(leaders.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cabt::trc
