@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -28,11 +29,23 @@ constexpr double kFpgaHz = 8e6;     // XCV2000E emulation (Table 2)
 struct BoardRun {
   uint64_t instructions = 0;
   uint64_t cycles = 0;
+  uint64_t blocks = 0;
+  uint64_t cached_blocks = 0;  ///< blocks served by the predecoded cache
+  double host_seconds = 0;     ///< wall-clock time of the ISS run
   [[nodiscard]] double seconds() const {
     return static_cast<double>(cycles) / kBoardHz;
   }
   [[nodiscard]] double mips() const {
     return static_cast<double>(instructions) / seconds() / 1e6;
+  }
+  /// Host-side simulation speed of the reference board itself.
+  [[nodiscard]] double hostMips() const {
+    return static_cast<double>(instructions) / host_seconds / 1e6;
+  }
+  [[nodiscard]] double cacheShare() const {
+    return blocks == 0 ? 0.0
+                       : static_cast<double>(cached_blocks) /
+                             static_cast<double>(blocks);
   }
 };
 
@@ -61,10 +74,14 @@ inline arch::ArchDescription defaultArch() {
 inline BoardRun runBoard(const arch::ArchDescription& desc,
                          const elf::Object& obj) {
   iss::Iss ref(desc, obj);
+  const auto t0 = std::chrono::steady_clock::now();
   if (ref.run() != iss::StopReason::kHalted) {
     throw Error("reference run did not halt");
   }
-  return {ref.stats().instructions, ref.stats().cycles};
+  const auto t1 = std::chrono::steady_clock::now();
+  return {ref.stats().instructions, ref.stats().cycles,
+          ref.stats().blocks, ref.stats().cached_blocks,
+          std::chrono::duration<double>(t1 - t0).count()};
 }
 
 inline VariantRun runVariant(const arch::ArchDescription& desc,

@@ -64,11 +64,33 @@ void printFigure(const std::vector<Row>& rows) {
     }
     std::printf("\n");
   }
+  std::printf("\nreference board host speed (block-cached ISS):\n");
+  std::printf("%-10s %14s %10s\n", "workload", "host MIPS", "cached");
+  for (const Row& r : rows) {
+    std::printf("%-10s %14.2f %9.1f%%\n", r.workload.c_str(),
+                r.board.hostMips(), r.board.cacheShare() * 100.0);
+  }
 }
 
 void registerBenchmarks(const std::vector<Row>& rows) {
   const arch::ArchDescription desc = defaultArch();
   for (const Row& row : rows) {
+    // Host speed of the reference board itself (the block-cached ISS).
+    const std::string workload_name = row.workload;
+    benchmark::RegisterBenchmark(
+        ("fig5/" + row.workload + "/board_host").c_str(),
+        [workload_name, desc](benchmark::State& state) {
+          const elf::Object obj =
+              workloads::assemble(workloads::get(workload_name));
+          BoardRun board;
+          for (auto _ : state) {
+            board = runBoard(desc, obj);
+          }
+          state.counters["mips_host"] = board.hostMips();
+          state.counters["cached_block_share"] = board.cacheShare();
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
     for (size_t v = 0; v < row.variants.size(); ++v) {
       const xlat::DetailLevel level = allLevels()[v];
       const std::string name =

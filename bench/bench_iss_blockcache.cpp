@@ -1,0 +1,129 @@
+// ISS block-cache ablation: host throughput (million source instructions
+// per simulated second) of the per-instruction stepping engine vs the
+// predecoded block-dispatch engine, across the ISS detail levels
+// (functional-only, timed pipeline without icache, full timing with
+// icache), for the Figure 5 workloads.
+//
+// The two engines are bit-identical in architectural state and stats
+// (asserted here as well as in the test suite); the block cache is purely
+// a speed optimisation of the reference board. Use
+// --benchmark_format=json for machine-readable output like the other
+// harnesses.
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace cabt::bench {
+namespace {
+
+struct IssMode {
+  const char* name;
+  bool model_timing;
+  bool icache;
+};
+
+const IssMode kModes[] = {
+    {"functional", false, false},
+    {"timing", true, false},
+    {"timing+icache", true, true},
+};
+
+struct EngineRun {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  double host_seconds = 0;
+  [[nodiscard]] double hostMips() const {
+    return static_cast<double>(instructions) / host_seconds / 1e6;
+  }
+};
+
+EngineRun runIss(const elf::Object& obj, const IssMode& mode,
+                 bool block_cache, int repeats) {
+  arch::ArchDescription desc = defaultArch();
+  desc.icache.enabled = mode.icache;
+  iss::IssConfig cfg;
+  cfg.model_timing = mode.model_timing;
+  cfg.use_block_cache = block_cache;
+  EngineRun result;
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    iss::Iss iss(desc, obj, nullptr, cfg);
+    if (block_cache) {
+      // Predecode is a one-time per-program cost; measure steady-state
+      // execution throughput only.
+      iss.prebuildBlockCache();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (iss.run() != iss::StopReason::kHalted) {
+      throw Error("ISS run did not halt");
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    result.instructions = iss.stats().instructions;
+    result.cycles = iss.stats().cycles;
+  }
+  result.host_seconds = best;
+  return result;
+}
+
+void printComparison() {
+  printHeader("ISS block-cache speedup [host MIPS]",
+              "the section-2 interpretation-overhead argument");
+  std::printf("%-10s %-14s %12s %12s %9s\n", "workload", "mode",
+              "step MIPS", "block MIPS", "speedup");
+  for (const std::string& name : workloads::figure5Names()) {
+    const elf::Object obj = workloads::assemble(workloads::get(name));
+    for (const IssMode& mode : kModes) {
+      const EngineRun slow = runIss(obj, mode, /*block_cache=*/false, 3);
+      const EngineRun fast = runIss(obj, mode, /*block_cache=*/true, 3);
+      if (slow.instructions != fast.instructions ||
+          slow.cycles != fast.cycles) {
+        throw Error("engines diverged on " + name);
+      }
+      std::printf("%-10s %-14s %12.2f %12.2f %8.2fx\n", name.c_str(),
+                  mode.name, slow.hostMips(), fast.hostMips(),
+                  slow.host_seconds / fast.host_seconds);
+    }
+  }
+}
+
+void registerBenchmarks() {
+  for (const std::string& name : workloads::figure5Names()) {
+    for (const IssMode& mode : kModes) {
+      for (const bool block_cache : {false, true}) {
+        const std::string bench_name =
+            std::string("iss_blockcache/") + name + "/" + mode.name + "/" +
+            (block_cache ? "block" : "step");
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [name, mode, block_cache](benchmark::State& state) {
+              const elf::Object obj =
+                  workloads::assemble(workloads::get(name));
+              uint64_t instructions = 0;
+              for (auto _ : state) {
+                const EngineRun r = runIss(obj, mode, block_cache, 1);
+                instructions = r.instructions;
+                benchmark::DoNotOptimize(instructions);
+              }
+              state.counters["instructions"] =
+                  static_cast<double>(instructions);
+              state.counters["mips_host"] = benchmark::Counter(
+                  static_cast<double>(instructions) * 1e-6,
+                  benchmark::Counter::kIsIterationInvariantRate);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cabt::bench
+
+int main(int argc, char** argv) {
+  cabt::bench::printComparison();
+  benchmark::Initialize(&argc, argv);
+  cabt::bench::registerBenchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

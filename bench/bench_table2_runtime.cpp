@@ -106,6 +106,22 @@ int main(int argc, char** argv) {
   for (const Row& row : rows) {
     const std::string workload = row.workload;
     benchmark::RegisterBenchmark(
+        ("table2/board_host/" + workload).c_str(),
+        [workload](benchmark::State& state) {
+          const auto desc = defaultArch();
+          const auto obj =
+              cabt::workloads::assemble(cabt::workloads::get(workload));
+          BoardRun board;
+          for (auto _ : state) {
+            board = runBoard(desc, obj);
+            benchmark::DoNotOptimize(board.cycles);
+          }
+          state.counters["mips_host"] = board.hostMips();
+          state.counters["cached_block_share"] = board.cacheShare();
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+    benchmark::RegisterBenchmark(
         ("table2/rtlsim_host/" + workload).c_str(),
         [workload](benchmark::State& state) {
           const auto desc = defaultArch();

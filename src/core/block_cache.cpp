@@ -1,0 +1,64 @@
+#include "core/block_cache.h"
+
+#include <algorithm>
+
+#include "arch/timing.h"
+
+namespace cabt::core {
+
+BlockCache::BlockCache(const arch::ArchDescription& desc,
+                       const BlockGraph& graph) {
+  blocks_.reserve(graph.blocks().size());
+  for (const Block& b : graph.blocks()) {
+    ExecBlock eb;
+    eb.addr = b.addr;
+    eb.instrs.assign(graph.begin(b), graph.end(b));
+    eb.target = b.target;
+    eb.fall_through = b.fall_through;
+
+    eb.cum_cycles.reserve(eb.instrs.size());
+    arch::PipelineTimer timer(desc.pipeline);
+    for (const trc::Instr& in : eb.instrs) {
+      timer.issue(in.timedOp());
+      eb.cum_cycles.push_back(static_cast<uint32_t>(timer.cycles()));
+    }
+
+    if (desc.icache.enabled) {
+      eb.new_line.reserve(eb.instrs.size());
+      bool have_line = false;
+      uint32_t last_line = 0;
+      for (const trc::Instr& in : eb.instrs) {
+        const uint32_t line = desc.icache.lineOf(in.addr);
+        const bool starts_group = !have_line || line != last_line;
+        have_line = true;
+        last_line = line;
+        eb.new_line.push_back(starts_group ? 1 : 0);
+      }
+    }
+
+    by_addr_.emplace(eb.addr, blocks_.size());
+    blocks_.push_back(std::move(eb));
+  }
+}
+
+std::vector<const ExecBlock*> BlockCache::hottest(size_t n) const {
+  std::vector<const ExecBlock*> out;
+  out.reserve(blocks_.size());
+  for (const ExecBlock& b : blocks_) {
+    if (b.exec_count > 0) {
+      out.push_back(&b);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExecBlock* a, const ExecBlock* b) {
+              return a->exec_count != b->exec_count
+                         ? a->exec_count > b->exec_count
+                         : a->addr < b->addr;
+            });
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
+}  // namespace cabt::core

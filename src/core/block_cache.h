@@ -1,0 +1,76 @@
+// Predecoded block cache: the execution-oriented view of a BlockGraph.
+//
+// The ISS hot loop executes whole cached blocks instead of re-fetching,
+// re-classifying and re-scheduling every instruction on every execution
+// (the paper's premise: decode and schedule once, at block granularity).
+// Per block the cache precomputes everything that does not depend on
+// dynamic state:
+//   * a contiguous copy of the decoded instructions (no per-step address
+//     hash lookups, no leader-set probes),
+//   * the cumulative issue-schedule cycles after every instruction, from
+//     a drained pipeline (the TRC32 pipeline drains at block boundaries,
+//     so the schedule is a pure function of the block), and
+//   * the cache-line group starts (the icache fetch rule touches one line
+//     per distinct consecutive line within a block; the groups follow
+//     from the static instruction addresses).
+// Dynamic state — register values, icache tags/LRU, branch outcomes —
+// stays in the ISS; the per-block corrections are applied at block
+// boundaries exactly as in per-instruction execution, which is why the
+// two engines are bit-identical (see DESIGN.md, "Block-cached
+// execution").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/arch.h"
+#include "core/block_graph.h"
+
+namespace cabt::core {
+
+/// One executable cached block.
+struct ExecBlock {
+  uint32_t addr = 0;
+  std::vector<trc::Instr> instrs;
+  /// Issue-schedule cycles consumed after instruction i has issued
+  /// (PipelineTimer::cycles() from a drained pipeline). Always filled;
+  /// functional-only execution simply ignores it.
+  std::vector<uint32_t> cum_cycles;
+  /// 1 when instruction i is the first of a new cache-line group within
+  /// the block (always set for instruction 0). Empty without an icache.
+  std::vector<uint8_t> new_line;
+  /// Successor indices into BlockCache::blocks() (-1 = none / dynamic).
+  int32_t target = -1;
+  int32_t fall_through = -1;
+  /// Hot-count statistic: number of times the block was dispatched.
+  uint64_t exec_count = 0;
+};
+
+class BlockCache {
+ public:
+  /// Predecodes every block of `graph`. Timing tables are filled from
+  /// `desc` (pipeline model and icache geometry).
+  BlockCache(const arch::ArchDescription& desc, const BlockGraph& graph);
+
+  [[nodiscard]] const std::vector<ExecBlock>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] std::vector<ExecBlock>& blocks() { return blocks_; }
+
+  /// Cached block starting at `addr`, or nullptr when `addr` is not a
+  /// block leader (the caller falls back to per-instruction stepping).
+  [[nodiscard]] ExecBlock* lookup(uint32_t addr) {
+    const auto it = by_addr_.find(addr);
+    return it == by_addr_.end() ? nullptr : &blocks_[it->second];
+  }
+
+  /// The `n` most executed blocks, hottest first (ties by address).
+  [[nodiscard]] std::vector<const ExecBlock*> hottest(size_t n) const;
+
+ private:
+  std::vector<ExecBlock> blocks_;
+  std::unordered_map<uint32_t, size_t> by_addr_;
+};
+
+}  // namespace cabt::core

@@ -1,0 +1,84 @@
+#include "core/block_graph.h"
+
+#include "arch/timing.h"
+#include "common/error.h"
+#include "trc/program.h"
+
+namespace cabt::core {
+
+BlockGraph BlockGraph::build(const elf::Object& object) {
+  BlockGraph graph;
+  graph.instrs_ = trc::decodeText(object);
+  CABT_CHECK(!graph.instrs_.empty(), "program has no instructions");
+  graph.leaders_ = trc::findLeaders(object, graph.instrs_);
+  graph.entry_ = object.entry;
+
+  for (size_t i = 0; i < graph.instrs_.size(); ++i) {
+    const trc::Instr& instr = graph.instrs_[i];
+    if (graph.blocks_.empty() || graph.leaders_.count(instr.addr) != 0) {
+      Block block;
+      block.addr = instr.addr;
+      block.first = static_cast<uint32_t>(i);
+      graph.by_addr_.emplace(instr.addr, graph.blocks_.size());
+      graph.blocks_.push_back(block);
+    }
+    Block& current = graph.blocks_.back();
+    ++current.count;
+    CABT_CHECK(current.count == 1 ||
+                   !graph.instrs_[i - 1].isControlTransfer(),
+               "control transfer in the middle of a block");
+  }
+
+  // Successor edges. A direct target outside .text has no block and the
+  // edge is dropped, exactly as the old per-pass successor lookups did.
+  for (size_t i = 0; i < graph.blocks_.size(); ++i) {
+    Block& b = graph.blocks_[i];
+    const trc::Instr& last = graph.last(b);
+    const int32_t next = i + 1 < graph.blocks_.size()
+                             ? static_cast<int32_t>(i + 1)
+                             : -1;
+    if (!last.isControlTransfer()) {
+      b.fall_through = next;
+      continue;
+    }
+    switch (last.cls()) {
+      case arch::OpClass::kBranchCond:
+        b.target = graph.indexAt(last.branchTarget());
+        b.fall_through = next;
+        break;
+      case arch::OpClass::kBranchUncond:
+      case arch::OpClass::kCall:
+        b.target = graph.indexAt(last.branchTarget());
+        break;
+      case arch::OpClass::kBranchInd:
+        break;  // resolved at run time (return sites are leaders)
+      default:
+        break;
+    }
+  }
+  return graph;
+}
+
+uint32_t staticBlockCycles(const arch::ArchDescription& desc,
+                           const trc::Instr* instrs, size_t count) {
+  CABT_CHECK(count > 0, "empty basic block");
+  arch::PipelineTimer timer(desc.pipeline);
+  for (size_t i = 0; i < count; ++i) {
+    timer.issue(instrs[i].timedOp());
+  }
+  uint64_t cycles = timer.cycles();
+  const trc::Instr& last = instrs[count - 1];
+  if (last.isControlTransfer() && last.cls() != arch::OpClass::kBranchCond) {
+    cycles += desc.branch.unconditionalExtra(last.cls());
+  }
+  CABT_CHECK(cycles <= 30000, "basic block too long for annotation");
+  return static_cast<uint32_t>(cycles);
+}
+
+void BlockGraph::computeStaticCycles(const arch::ArchDescription& desc) {
+  for (Block& b : blocks_) {
+    b.static_cycles = staticBlockCycles(desc, begin(b), b.count);
+  }
+}
+
+}  // namespace cabt::core

@@ -77,7 +77,7 @@ Debugger::Debugger(const arch::ArchDescription& desc,
 }
 
 void Debugger::addBreakpoint(uint32_t src_addr) {
-  blockOf(src_addr);  // validates the address
+  static_cast<void>(blockOf(src_addr));  // validates the address
   breakpoints_.insert(src_addr);
 }
 

@@ -15,12 +15,12 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
     : desc_(desc),
       config_(config),
       bus_(bus),
-      decoded_(trc::decodeText(object)),
+      graph_(core::BlockGraph::build(object)),
       timer_(desc_.pipeline),
       icache_(desc_.icache) {
-  leaders_ = trc::findLeaders(object, decoded_);
-  for (size_t i = 0; i < decoded_.size(); ++i) {
-    by_addr_.emplace(decoded_[i].addr, i);
+  const std::vector<Instr>& instrs = graph_.instrs();
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    by_addr_.emplace(instrs[i].addr, i);
   }
   for (const elf::Section& s : object.sections) {
     if (s.kind == elf::SectionKind::kProgbits) {
@@ -31,15 +31,22 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
   pc_ = object.entry;
 }
 
+core::BlockCache& Iss::blockCache() {
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<core::BlockCache>(desc_, graph_);
+  }
+  return *cache_;
+}
+
 const Instr& Iss::fetch(uint32_t addr) const {
   const auto it = by_addr_.find(addr);
   CABT_CHECK(it != by_addr_.end(),
              "PC " << hex32(addr) << " is not at an instruction boundary");
-  return decoded_[it->second];
+  return graph_.instrs()[it->second];
 }
 
 uint64_t Iss::currentCycle() const {
-  return committed_cycles_ + timer_.cycles();
+  return committed_cycles_ + live_pipe_;
 }
 
 void Iss::syncBusClock() {
@@ -52,21 +59,26 @@ void Iss::syncBusClock() {
   }
 }
 
-void Iss::finishBlock() {
-  if (!in_block_) {
-    return;
-  }
-  const uint64_t pipeline = timer_.cycles();
+void Iss::commitBlock() {
+  const uint64_t pipeline = live_pipe_;
   committed_cycles_ += pipeline;
   stats_.pipeline_cycles += pipeline;
   current_block_.pipeline_cycles = static_cast<uint32_t>(pipeline);
   if (trace_blocks_) {
     block_trace_.push_back(current_block_);
   }
-  timer_.reset();
-  have_line_ = false;
+  live_pipe_ = 0;
   in_block_ = false;
   stats_.cycles = committed_cycles_;
+}
+
+void Iss::finishBlock() {
+  if (!in_block_) {
+    return;
+  }
+  commitBlock();
+  timer_.reset();
+  have_line_ = false;
 }
 
 StopReason Iss::step() {
@@ -80,7 +92,7 @@ StopReason Iss::step() {
   const Instr& instr = fetch(pc_);
 
   if (config_.model_timing) {
-    if (!in_block_ || leaders_.count(pc_) != 0) {
+    if (!in_block_ || graph_.leaders().count(pc_) != 0) {
       finishBlock();
       current_block_ = BlockRecord{};
       current_block_.addr = pc_;
@@ -104,6 +116,7 @@ StopReason Iss::step() {
       }
     }
     timer_.issue(instr.timedOp());
+    live_pipe_ = timer_.cycles();
   }
 
   execute(instr);
@@ -115,10 +128,100 @@ StopReason Iss::step() {
   return stop_;
 }
 
-StopReason Iss::run() {
-  while (step() == StopReason::kRunning) {
+void Iss::dispatchBlock(core::ExecBlock& block) {
+  ++block.exec_count;
+  ++stats_.cached_blocks;
+  const bool timing = config_.model_timing;
+  if (timing) {
+    current_block_ = BlockRecord{};
+    current_block_.addr = block.addr;
+    in_block_ = true;
+    ++stats_.blocks;
   }
-  return stop_ == StopReason::kRunning ? StopReason::kMaxInstructions : stop_;
+  const size_t n = block.instrs.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Instr& instr = block.instrs[i];
+    if (timing) {
+      if (desc_.icache.enabled && block.new_line[i] != 0) {
+        ++stats_.icache_accesses;
+        if (!icache_.access(instr.addr)) {
+          ++stats_.icache_misses;
+          committed_cycles_ += desc_.icache.miss_penalty;
+          stats_.cache_penalty += desc_.icache.miss_penalty;
+          current_block_.cache_penalty += desc_.icache.miss_penalty;
+        }
+      }
+      live_pipe_ = block.cum_cycles[i];
+    }
+    execute(instr);
+    ++stats_.instructions;
+    if (stop_ != StopReason::kRunning) {
+      break;  // HALT or BKPT mid-block; live_pipe_ holds the partial cost
+    }
+  }
+  if (stop_ == StopReason::kHalted) {
+    finishBlock();
+    syncBusClock();
+  }
+}
+
+StopReason Iss::run() {
+  if (!config_.use_block_cache) {
+    while (step() == StopReason::kRunning) {
+    }
+    return stop_ == StopReason::kRunning ? StopReason::kMaxInstructions
+                                         : stop_;
+  }
+  while (stop_ == StopReason::kRunning) {
+    if (stats_.instructions >= config_.max_instructions) {
+      stop_ = StopReason::kMaxInstructions;
+      break;
+    }
+    // A still-open block is committed lazily, exactly when the stepping
+    // engine would: at the first instruction of the next leader.
+    if (in_block_ && graph_.leaders().count(pc_) != 0) {
+      finishBlock();
+    }
+    core::ExecBlock* block = in_block_ ? nullptr : blockCache().lookup(pc_);
+    if (block == nullptr ||
+        stats_.instructions + block->instrs.size() >
+            config_.max_instructions) {
+      // Per-instruction fallback: mid-block landing addresses and the
+      // final instructions before the instruction limit.
+      step();
+      continue;
+    }
+    dispatchBlock(*block);
+    if (stop_ == StopReason::kRunning && config_.model_timing &&
+        graph_.leaders().count(pc_) == 0) {
+      // Indirect transfer into the middle of a block: per-instruction
+      // semantics keep the current block open across the jump, so restore
+      // the stepping engine's view of it (warm issue schedule and line
+      // tracking) before falling back.
+      timer_.reset();
+      for (const Instr& instr : block->instrs) {
+        timer_.issue(instr.timedOp());
+      }
+      live_pipe_ = timer_.cycles();
+      if (desc_.icache.enabled) {
+        have_line_ = true;
+        last_line_ = desc_.icache.lineOf(block->instrs.back().addr);
+      }
+    }
+  }
+  return stop_;
+}
+
+std::vector<HotBlock> Iss::hotBlocks(size_t n) const {
+  std::vector<HotBlock> out;
+  if (cache_ == nullptr) {
+    return out;  // the block engine never ran
+  }
+  for (const core::ExecBlock* b : cache_->hottest(n)) {
+    out.push_back({b->addr, static_cast<uint32_t>(b->instrs.size()),
+                   b->exec_count});
+  }
+  return out;
 }
 
 uint32_t Iss::loadMem(uint32_t addr, unsigned size, bool sign) {

@@ -1,4 +1,4 @@
-// Cycle-accurate interpretive instruction-set simulator for TRC32.
+// Cycle-accurate instruction-set simulator for TRC32.
 //
 // Plays the role of the paper's TriCore TC10GP evaluation board: the
 // ground truth for both instruction counts and cycle counts that the
@@ -7,6 +7,20 @@
 // drains at basic-block boundaries, static backward-taken branch
 // prediction, and a set-associative instruction cache (see DESIGN.md for
 // the precise fetch rule).
+//
+// Two execution engines share identical semantics:
+//   * a block-dispatch engine (the default for run()) that executes whole
+//     predecoded blocks from a core::BlockCache — operands, issue
+//     schedules and cache-line groups are computed once per block, and
+//     branch/icache corrections are applied at block boundaries; and
+//   * a per-instruction step() engine, used by single stepping, as the
+//     fallback for addresses that are not block leaders, and to stop
+//     exactly at the instruction limit.
+// Block boundaries come from the same core::BlockGraph the translator
+// consumes, so the reference and the translated image can never disagree
+// about block structure. The two engines are bit-identical in both
+// architectural state and every IssStats counter (checked by
+// tests/random_program_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -20,6 +34,8 @@
 #include "arch/icache_model.h"
 #include "arch/timing.h"
 #include "common/sparse_mem.h"
+#include "core/block_cache.h"
+#include "core/block_graph.h"
 #include "elf/elf.h"
 #include "soc/bus.h"
 #include "trc/isa.h"
@@ -47,10 +63,18 @@ struct IssStats {
   uint64_t mispredicts = 0;
   uint64_t io_reads = 0;
   uint64_t io_writes = 0;
+  /// Blocks dispatched through the predecoded block cache (the rest ran
+  /// on the per-instruction fallback engine). Not part of the
+  /// architectural comparison between the two engines.
+  uint64_t cached_blocks = 0;
 };
 
 struct IssConfig {
   bool model_timing = true;  ///< false = functional-only (no cycle counts)
+  /// false = force the per-instruction engine even in run() (the
+  /// pre-block-cache behaviour; kept for differential testing and for
+  /// debugger-style consumers that want stepping semantics throughout).
+  bool use_block_cache = true;
   uint64_t max_instructions = 500'000'000;
 };
 
@@ -63,6 +87,13 @@ struct BlockRecord {
   uint32_t cache_penalty = 0;
 };
 
+/// Hot-count entry: how often one basic block was dispatched.
+struct HotBlock {
+  uint32_t addr = 0;
+  uint32_t instr_count = 0;
+  uint64_t exec_count = 0;
+};
+
 class Iss {
  public:
   /// `bus` may be null when the program performs no I/O; the bus is
@@ -70,9 +101,10 @@ class Iss {
   Iss(const arch::ArchDescription& desc, const elf::Object& object,
       soc::SocBus* bus = nullptr, IssConfig config = {});
 
-  /// Runs until HALT/BKPT or the instruction limit.
+  /// Runs until HALT/BKPT or the instruction limit, dispatching whole
+  /// cached blocks when possible.
   StopReason run();
-  /// Executes a single instruction.
+  /// Executes a single instruction (the per-instruction engine).
   StopReason step();
 
   [[nodiscard]] uint32_t pc() const { return pc_; }
@@ -85,8 +117,20 @@ class Iss {
   [[nodiscard]] const IssStats& stats() const { return stats_; }
   [[nodiscard]] SparseMemory& memory() { return mem_; }
   [[nodiscard]] const SparseMemory& memory() const { return mem_; }
-  [[nodiscard]] const std::set<uint32_t>& leaders() const { return leaders_; }
+  [[nodiscard]] const std::set<uint32_t>& leaders() const {
+    return graph_.leaders();
+  }
+  [[nodiscard]] const core::BlockGraph& blockGraph() const { return graph_; }
   [[nodiscard]] const arch::ICacheState& icache() const { return icache_; }
+
+  /// The `n` hottest blocks by dispatch count (block-cache engine only).
+  [[nodiscard]] std::vector<HotBlock> hotBlocks(size_t n) const;
+
+  /// Forces construction of the predecoded block cache now instead of
+  /// lazily on the first run() dispatch. Decode-once cost is one-time
+  /// per program; benchmarks call this to keep it out of the measured
+  /// execution window.
+  void prebuildBlockCache() { blockCache(); }
 
   void enableBlockTrace(bool on) { trace_blocks_ = on; }
   [[nodiscard]] const std::vector<BlockRecord>& blockTrace() const {
@@ -95,30 +139,41 @@ class Iss {
 
  private:
   const trc::Instr& fetch(uint32_t addr) const;
+  void commitBlock();
   void finishBlock();
+  void dispatchBlock(core::ExecBlock& block);
   uint32_t loadMem(uint32_t addr, unsigned size, bool sign);
   void storeMem(uint32_t addr, uint32_t value, unsigned size);
   void syncBusClock();
   [[nodiscard]] uint64_t currentCycle() const;
   void execute(const trc::Instr& instr);
 
+  /// Builds the predecoded cache on first block-engine dispatch, so
+  /// stepping-only and forced-per-instruction configurations never pay
+  /// for it.
+  core::BlockCache& blockCache();
+
   arch::ArchDescription desc_;
   IssConfig config_;
   soc::SocBus* bus_;
   SparseMemory mem_;
-  std::vector<trc::Instr> decoded_;
+  core::BlockGraph graph_;
+  std::unique_ptr<core::BlockCache> cache_;
   std::unordered_map<uint32_t, size_t> by_addr_;
-  std::set<uint32_t> leaders_;
 
   std::array<uint32_t, 16> d_{};
   std::array<uint32_t, 16> a_{};
   uint32_t pc_ = 0;
   StopReason stop_ = StopReason::kRunning;
 
-  // Timing state.
+  // Timing state. Both engines keep `live_pipe_` equal to the issue-
+  // schedule cycles of the currently open block: the stepping engine
+  // mirrors its PipelineTimer, the block engine assigns the precomputed
+  // cumulative cycles directly.
   arch::PipelineTimer timer_;
   arch::ICacheState icache_;
   uint64_t committed_cycles_ = 0;  ///< includes finished blocks + penalties
+  uint64_t live_pipe_ = 0;         ///< pipeline cycles of the open block
   bool have_line_ = false;
   uint32_t last_line_ = 0;
   BlockRecord current_block_{};

@@ -3,6 +3,7 @@
 // log that tests use to check cycle-accurate I/O behaviour.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -56,7 +57,7 @@ class SocBus {
     const Window* w = findWindow(addr);
     CABT_CHECK(w != nullptr, "bus read from unmapped address " << hex32(addr));
     const uint32_t value = w->device->read(addr - w->base, size, soc_cycle_);
-    log_.push_back({soc_cycle_, addr, value, static_cast<uint8_t>(size),
+    logTransaction({soc_cycle_, addr, value, static_cast<uint8_t>(size),
                     false});
     return value;
   }
@@ -65,12 +66,30 @@ class SocBus {
     const Window* w = findWindow(addr);
     CABT_CHECK(w != nullptr, "bus write to unmapped address " << hex32(addr));
     w->device->write(addr - w->base, value, size, soc_cycle_);
-    log_.push_back({soc_cycle_, addr, value, static_cast<uint8_t>(size),
+    logTransaction({soc_cycle_, addr, value, static_cast<uint8_t>(size),
                     true});
   }
 
   [[nodiscard]] const std::vector<Transaction>& log() const { return log_; }
-  void clearLog() { log_.clear(); }
+  void clearLog() {
+    log_.clear();
+    dropped_transactions_ = 0;
+  }
+
+  /// Caps the transaction log at roughly `max_entries`: the most recent
+  /// `max_entries` transactions are always retained and the oldest are
+  /// discarded (amortised O(1); memory stays below 2x the cap). 0 (the
+  /// default, used by the tests) keeps the full unbounded log, so long
+  /// benchmark runs should set a cap.
+  void setLogLimit(size_t max_entries) {
+    log_limit_ = max_entries;
+    trimLog();
+  }
+  [[nodiscard]] size_t logLimit() const { return log_limit_; }
+  /// Transactions discarded by the cap since the last clearLog().
+  [[nodiscard]] uint64_t droppedTransactions() const {
+    return dropped_transactions_;
+  }
 
  private:
   struct Window {
@@ -88,8 +107,27 @@ class SocBus {
     return nullptr;
   }
 
+  void logTransaction(Transaction t) {
+    log_.push_back(t);
+    if (log_limit_ != 0 && log_.size() >= 2 * log_limit_) {
+      trimLog();
+    }
+  }
+
+  void trimLog() {
+    if (log_limit_ == 0 || log_.size() <= log_limit_) {
+      return;
+    }
+    const size_t drop = log_.size() - log_limit_;
+    log_.erase(log_.begin(),
+               log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dropped_transactions_ += drop;
+  }
+
   std::vector<Window> windows_;
   std::vector<Transaction> log_;
+  size_t log_limit_ = 0;  ///< 0 = unbounded (full logging, the test default)
+  uint64_t dropped_transactions_ = 0;
   uint64_t soc_cycle_ = 0;
 };
 

@@ -8,6 +8,9 @@
 // addresses of load/store instructions accessing memory to the new memory
 // addresses of the target system").
 //
+// Blocks, leaders and successor edges come from the shared
+// core::BlockGraph (the same structure the reference ISS executes from).
+//
 // Pointer invariant: address registers hold *target* addresses at run
 // time, because every pointer originates from a (rewritten) MOVHA
 // materialisation and pointer arithmetic preserves the region-wise linear
@@ -90,12 +93,8 @@ void transfer(const trc::Instr& in, BlockState& s) {
 }  // namespace
 
 AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
-                                 const std::vector<SourceBlock>& blocks,
-                                 uint32_t entry) {
-  std::map<uint32_t, size_t> block_index;
-  for (size_t i = 0; i < blocks.size(); ++i) {
-    block_index.emplace(blocks[i].addr, i);
-  }
+                                 const core::BlockGraph& graph) {
+  const std::vector<core::Block>& blocks = graph.blocks();
 
   // Entry states; seeded Top at the program entry and at call-return
   // sites (control arrives there through an indirect jump from a callee
@@ -106,12 +105,11 @@ AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
     entry_state[i] = BlockState::allTop();
     worklist.push_back(i);
   };
-  if (const auto it = block_index.find(entry); it != block_index.end()) {
-    seed(it->second);
+  if (const int32_t i = graph.indexAt(graph.entry()); i >= 0) {
+    seed(static_cast<size_t>(i));
   }
   for (size_t i = 0; i < blocks.size(); ++i) {
-    if (blocks[i].endsWithControlTransfer() &&
-        blocks[i].last().cls() == arch::OpClass::kCall &&
+    if (graph.last(blocks[i]).cls() == arch::OpClass::kCall &&
         i + 1 < blocks.size()) {
       seed(i + 1);  // return site
     }
@@ -119,34 +117,11 @@ AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
 
   const auto successors = [&](size_t i) {
     std::vector<size_t> out;
-    const SourceBlock& b = blocks[i];
-    const trc::Instr& last = b.last();
-    const auto addEdge = [&](uint32_t addr) {
-      if (const auto it = block_index.find(addr); it != block_index.end()) {
-        out.push_back(it->second);
-      }
-    };
-    if (!last.isControlTransfer()) {
-      if (i + 1 < blocks.size()) {
-        out.push_back(i + 1);
-      }
-      return out;
+    if (blocks[i].target >= 0) {
+      out.push_back(static_cast<size_t>(blocks[i].target));
     }
-    switch (last.cls()) {
-      case arch::OpClass::kBranchCond:
-        addEdge(last.branchTarget());
-        if (i + 1 < blocks.size()) {
-          out.push_back(i + 1);
-        }
-        break;
-      case arch::OpClass::kBranchUncond:
-      case arch::OpClass::kCall:
-        addEdge(last.branchTarget());
-        break;
-      case arch::OpClass::kBranchInd:
-        break;  // return; the return site is seeded Top
-      default:
-        break;
+    if (blocks[i].fall_through >= 0) {
+      out.push_back(static_cast<size_t>(blocks[i].fall_through));
     }
     return out;
   };
@@ -155,8 +130,9 @@ AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
     const size_t i = worklist.front();
     worklist.pop_front();
     BlockState s = entry_state[i];
-    for (const trc::Instr& in : blocks[i].instrs) {
-      transfer(in, s);
+    for (const trc::Instr* in = graph.begin(blocks[i]);
+         in != graph.end(blocks[i]); ++in) {
+      transfer(*in, s);
     }
     for (const size_t succ : successors(i)) {
       const BlockState merged = entry_state[succ].meet(s);
@@ -171,7 +147,9 @@ AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
   AddressAnalysis out;
   for (size_t i = 0; i < blocks.size(); ++i) {
     BlockState s = entry_state[i];
-    for (const trc::Instr& in : blocks[i].instrs) {
+    for (const trc::Instr* it = graph.begin(blocks[i]);
+         it != graph.end(blocks[i]); ++it) {
+      const trc::Instr& in = *it;
       if (in.cls() == arch::OpClass::kLoad ||
           in.cls() == arch::OpClass::kStore) {
         if (s.regs[in.ra].isConst()) {
@@ -192,28 +170,26 @@ AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
   }
 
   // MOVHA rewriting into the target address space.
-  for (const SourceBlock& b : blocks) {
-    for (const trc::Instr& in : b.instrs) {
-      if (in.opc != Opc::kMovha) {
-        continue;
-      }
-      const uint32_t value = static_cast<uint32_t>(in.imm) << 16;
-      const MemRegion* region = desc.memory_map.find(value);
-      if (region == nullptr || region->remap_base == region->base) {
-        continue;
-      }
-      const uint32_t delta = region->remap_base - region->base;
-      CABT_CHECK((delta & 0xffffu) == 0,
-                 "remap delta of region '"
-                     << region->name
-                     << "' is not 64 KiB aligned; cannot rewrite MOVHA at "
-                     << hex32(in.addr));
-      out.movha_rewrites.emplace(
-          in.addr,
-          static_cast<uint16_t>((static_cast<uint32_t>(in.imm) +
-                                 (delta >> 16)) &
-                                0xffffu));
+  for (const trc::Instr& in : graph.instrs()) {
+    if (in.opc != Opc::kMovha) {
+      continue;
     }
+    const uint32_t value = static_cast<uint32_t>(in.imm) << 16;
+    const MemRegion* region = desc.memory_map.find(value);
+    if (region == nullptr || region->remap_base == region->base) {
+      continue;
+    }
+    const uint32_t delta = region->remap_base - region->base;
+    CABT_CHECK((delta & 0xffffu) == 0,
+               "remap delta of region '"
+                   << region->name
+                   << "' is not 64 KiB aligned; cannot rewrite MOVHA at "
+                   << hex32(in.addr));
+    out.movha_rewrites.emplace(
+        in.addr,
+        static_cast<uint16_t>((static_cast<uint32_t>(in.imm) +
+                               (delta >> 16)) &
+                              0xffffu));
   }
   return out;
 }

@@ -1,58 +1,38 @@
-// Basic-block construction, static cycle calculation and cache-analysis-
-// block splitting (paper sections 3, 3.3 and 3.4.2).
-#include "arch/timing.h"
+// Translator-side views of the shared block structure: conversion of the
+// core block graph into SourceBlock pass records, static cycle annotation
+// and cache-analysis-block splitting (paper sections 3, 3.3 and 3.4.2).
+//
+// Block boundaries and static schedules are NOT computed here: they come
+// from core::BlockGraph / core::staticBlockCycles, the same code the
+// reference ISS executes from, so the translated image and the ground
+// truth can never disagree about block structure.
 #include "common/error.h"
-#include "trc/program.h"
+#include "core/block_graph.h"
 #include "xlat/internal.h"
 
 namespace cabt::xlat {
 
-std::vector<SourceBlock> buildBlocks(const elf::Object& object) {
-  const std::vector<trc::Instr> instrs = trc::decodeText(object);
-  CABT_CHECK(!instrs.empty(), "program has no instructions");
-  const std::set<uint32_t> leaders = trc::findLeaders(object, instrs);
-
+std::vector<SourceBlock> buildBlocks(const core::BlockGraph& graph) {
   std::vector<SourceBlock> blocks;
-  for (const trc::Instr& instr : instrs) {
-    const bool starts_block =
-        blocks.empty() || leaders.count(instr.addr) != 0;
-    if (starts_block) {
-      SourceBlock block;
-      block.addr = instr.addr;
-      blocks.push_back(std::move(block));
-    }
-    blocks.back().instrs.push_back(instr);
-    // A control transfer always terminates the block (its successor is a
-    // leader anyway, but this keeps the invariant explicit).
-  }
-  for (const SourceBlock& b : blocks) {
-    CABT_CHECK(!b.instrs.empty(), "empty basic block");
-    for (size_t i = 0; i + 1 < b.instrs.size(); ++i) {
-      CABT_CHECK(!b.instrs[i].isControlTransfer(),
-                 "control transfer in the middle of a block");
-    }
+  blocks.reserve(graph.blocks().size());
+  for (const core::Block& b : graph.blocks()) {
+    SourceBlock block;
+    block.addr = b.addr;
+    block.instrs.assign(graph.begin(b), graph.end(b));
+    blocks.push_back(std::move(block));
   }
   return blocks;
+}
+
+std::vector<SourceBlock> buildBlocks(const elf::Object& object) {
+  return buildBlocks(core::BlockGraph::build(object));
 }
 
 void computeStaticCycles(const arch::ArchDescription& desc,
                          std::vector<SourceBlock>& blocks) {
   for (SourceBlock& block : blocks) {
-    arch::PipelineTimer timer(desc.pipeline);
-    for (const trc::Instr& instr : block.instrs) {
-      timer.issue(instr.timedOp());
-    }
-    uint64_t cycles = timer.cycles();
-    // Static part of the branch cost: unconditional transfers have a
-    // fixed extra; conditional branches contribute their minimum (zero
-    // extra) statically — the rest is dynamic correction (section 3.4.1).
-    const trc::Instr& last = block.last();
-    if (last.isControlTransfer() &&
-        last.cls() != arch::OpClass::kBranchCond) {
-      cycles += desc.branch.unconditionalExtra(last.cls());
-    }
-    CABT_CHECK(cycles <= 30000, "basic block too long for annotation");
-    block.static_cycles = static_cast<uint32_t>(cycles);
+    block.static_cycles = core::staticBlockCycles(
+        desc, block.instrs.data(), block.instrs.size());
   }
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "core/block_graph.h"
 #include "elf/elf.h"
 #include "trc/isa.h"
 #include "vliw/isa.h"
@@ -91,16 +92,20 @@ struct AddressAnalysis {
   uint64_t unknown_accesses = 0;
 };
 
-/// Runs the forward constant propagation over all blocks.
+/// Runs the forward constant propagation over the block graph (leaders,
+/// blocks and successor edges all come from the shared core layer).
 AddressAnalysis analyzeAddresses(const arch::ArchDescription& desc,
-                                 const std::vector<SourceBlock>& blocks,
-                                 uint32_t entry);
+                                 const core::BlockGraph& graph);
 
-/// Builds source blocks from the decoded program.
+/// Converts the shared block graph into the translator's per-pass records.
+std::vector<SourceBlock> buildBlocks(const core::BlockGraph& graph);
+
+/// Convenience overload that builds the graph internally.
 std::vector<SourceBlock> buildBlocks(const elf::Object& object);
 
-/// Fills SourceBlock::static_cycles (paper section 3.3): per-block
-/// pipeline model plus the static part of the branch cost.
+/// Fills SourceBlock::static_cycles (paper section 3.3) via
+/// core::staticBlockCycles; also used on the single-instruction units of
+/// the instruction-oriented mode, which is why it stays block-list based.
 void computeStaticCycles(const arch::ArchDescription& desc,
                          std::vector<SourceBlock>& blocks);
 

@@ -6,6 +6,7 @@
 
 #include "common/bits.h"
 #include "common/strutil.h"
+#include "core/block_graph.h"
 #include "trc/program.h"
 #include "xlat/internal.h"
 #include "xlat/regmap.h"
@@ -85,9 +86,11 @@ TranslationResult translate(const arch::ArchDescription& desc,
       static_cast<uint32_t>(src_text->data.size());
 
   // ---- analysis passes ----------------------------------------------------
-  std::vector<SourceBlock> blocks = buildBlocks(object);
-  const AddressAnalysis analysis =
-      analyzeAddresses(desc, blocks, object.entry);
+  // The shared core::BlockGraph is the single source of block boundaries;
+  // the reference ISS executes from the very same structure.
+  const core::BlockGraph graph = core::BlockGraph::build(object);
+  std::vector<SourceBlock> blocks = buildBlocks(graph);
+  const AddressAnalysis analysis = analyzeAddresses(desc, graph);
   if (options.instruction_oriented) {
     blocks = splitPerInstruction(blocks);
   }

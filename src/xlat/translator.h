@@ -6,6 +6,12 @@
 //   calculation -> insertion of cycle generation code -> insertion of
 //   dynamic correction code -> scheduling/binding -> object file.
 //
+// Decoding, basic-block construction and static cycle calculation live in
+// the shared program-analysis layer `src/core/` (core::BlockGraph): the
+// reference ISS executes from the same graph through its predecoded
+// block cache, so the translated image and the ground truth agree on
+// block boundaries and static schedules by construction (DESIGN.md).
+//
 // Four detail levels (paper section 3.2; level 0 is the paper's
 // "C6x without cycle information" speed baseline):
 //   kFunctional     no timing annotation at all

@@ -121,8 +121,8 @@ _start: movi d7, 1234
   EXPECT_EQ(dbg.run().kind, StopKind::kHalted);
   EXPECT_EQ(dbg.regByName("d7"), 1234u);
   EXPECT_EQ(dbg.regByName("a3"), 0x10000000u);
-  EXPECT_THROW(dbg.regByName("x1"), Error);
-  EXPECT_THROW(dbg.regByName("d16"), Error);
+  EXPECT_THROW(static_cast<void>(dbg.regByName("x1")), Error);
+  EXPECT_THROW(static_cast<void>(dbg.regByName("d16")), Error);
 }
 
 TEST(Debugger, MemoryAccessAppliesRemap) {

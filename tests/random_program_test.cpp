@@ -145,7 +145,47 @@ TEST_P(RandomPrograms, AllVehiclesAgree) {
   const elf::Object obj = trc::assemble(source);
 
   iss::Iss ref(desc, obj);
+  ref.enableBlockTrace(true);
   ASSERT_EQ(ref.run(), iss::StopReason::kHalted);
+
+  // Block-cached execution (the run() default) must match per-instruction
+  // stepping instruction-for-instruction and cycle-for-cycle: identical
+  // stats, registers and per-block timing records.
+  {
+    iss::IssConfig slow_cfg;
+    slow_cfg.use_block_cache = false;
+    iss::Iss slow(desc, obj, nullptr, slow_cfg);
+    slow.enableBlockTrace(true);
+    ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+    EXPECT_EQ(slow.stats().instructions, ref.stats().instructions);
+    EXPECT_EQ(slow.stats().cycles, ref.stats().cycles);
+    EXPECT_EQ(slow.stats().pipeline_cycles, ref.stats().pipeline_cycles);
+    EXPECT_EQ(slow.stats().branch_extra, ref.stats().branch_extra);
+    EXPECT_EQ(slow.stats().cache_penalty, ref.stats().cache_penalty);
+    EXPECT_EQ(slow.stats().blocks, ref.stats().blocks);
+    EXPECT_EQ(slow.stats().icache_accesses, ref.stats().icache_accesses);
+    EXPECT_EQ(slow.stats().icache_misses, ref.stats().icache_misses);
+    EXPECT_EQ(slow.stats().cond_branches, ref.stats().cond_branches);
+    EXPECT_EQ(slow.stats().cond_taken, ref.stats().cond_taken);
+    EXPECT_EQ(slow.stats().mispredicts, ref.stats().mispredicts);
+    EXPECT_EQ(slow.pc(), ref.pc());
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(slow.d(i), ref.d(i)) << "d" << i;
+      EXPECT_EQ(slow.a(i), ref.a(i)) << "a" << i;
+    }
+    ASSERT_EQ(slow.blockTrace().size(), ref.blockTrace().size());
+    for (size_t i = 0; i < slow.blockTrace().size(); ++i) {
+      const iss::BlockRecord& s = slow.blockTrace()[i];
+      const iss::BlockRecord& f = ref.blockTrace()[i];
+      EXPECT_EQ(s.addr, f.addr) << "block " << i;
+      EXPECT_EQ(s.pipeline_cycles, f.pipeline_cycles) << "block " << i;
+      EXPECT_EQ(s.branch_extra, f.branch_extra) << "block " << i;
+      EXPECT_EQ(s.cache_penalty, f.cache_penalty) << "block " << i;
+    }
+    // Every block of a leader-entered program runs from the cache.
+    EXPECT_EQ(ref.stats().cached_blocks, ref.stats().blocks);
+    EXPECT_EQ(slow.stats().cached_blocks, 0u);
+  }
 
   // RT-level model: exact cycle agreement.
   rtlsim::RtlCore rtl(desc, obj);

@@ -52,6 +52,45 @@ TEST(SocBus, LogsTransactionsWithCycleStamps) {
   EXPECT_FALSE(bus.log()[1].is_write);
 }
 
+TEST(SocBus, LogLimitKeepsMostRecentTransactions) {
+  SocBus bus;
+  ScratchDevice scratch;
+  bus.attach(&scratch, 0x0, 0x40);
+  bus.setLogLimit(4);
+  for (uint32_t i = 0; i < 100; ++i) {
+    bus.clockCycle();
+    bus.write(0x0, i, 4);
+  }
+  // The cap bounds memory (below 2x the limit) while always retaining at
+  // least the most recent `limit` entries, newest last.
+  ASSERT_GE(bus.log().size(), 4u);
+  ASSERT_LT(bus.log().size(), 8u);
+  EXPECT_EQ(bus.droppedTransactions() + bus.log().size(), 100u);
+  EXPECT_EQ(bus.log().back().value, 99u);
+  const size_t n = bus.log().size();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(bus.log()[i].value, 100 - n + i);
+  }
+  // Tightening the cap trims immediately; clearing resets the counter.
+  bus.setLogLimit(2);
+  EXPECT_EQ(bus.log().size(), 2u);
+  EXPECT_EQ(bus.log().back().value, 99u);
+  bus.clearLog();
+  EXPECT_EQ(bus.droppedTransactions(), 0u);
+  EXPECT_TRUE(bus.log().empty());
+}
+
+TEST(SocBus, UnlimitedLogIsTheDefault) {
+  SocBus bus;
+  ScratchDevice scratch;
+  bus.attach(&scratch, 0x0, 0x40);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    bus.write(0x0, i, 4);
+  }
+  EXPECT_EQ(bus.log().size(), 1000u);
+  EXPECT_EQ(bus.droppedTransactions(), 0u);
+}
+
 TEST(Timer, CountsOnlyClockedCycles) {
   SocBus bus;
   TimerDevice timer;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "core/block_graph.h"
 #include "iss/iss.h"
 #include "platform/platform.h"
 #include "trc/assembler.h"
@@ -131,9 +132,8 @@ _start: movha a0, 0xd000
         ldw d2, [a2]0
         halt
 )");
-  const auto blocks = buildBlocks(obj);
-  const AddressAnalysis aa = analyzeAddresses(defaultArch(), blocks,
-                                              obj.entry);
+  const AddressAnalysis aa =
+      analyzeAddresses(defaultArch(), core::BlockGraph::build(obj));
   EXPECT_EQ(aa.ram_accesses, 1u);
   EXPECT_EQ(aa.unknown_accesses, 1u);
   ASSERT_TRUE(aa.known_ea.count(0x80000008));
@@ -146,9 +146,8 @@ _start: movha a0, 0xf000
         stw d1, [a0]0x200
         halt
 )");
-  const auto blocks = buildBlocks(obj);
-  const AddressAnalysis aa = analyzeAddresses(defaultArch(), blocks,
-                                              obj.entry);
+  const AddressAnalysis aa =
+      analyzeAddresses(defaultArch(), core::BlockGraph::build(obj));
   EXPECT_EQ(aa.io_accesses, 1u);
   // The I/O region is identity-mapped: no MOVHA rewrite for it.
   EXPECT_TRUE(aa.movha_rewrites.empty());
@@ -159,9 +158,8 @@ TEST(AddrAnalysis, RewritesMovhaIntoRemappedRegion) {
 _start: movha a0, 0xd000
         halt
 )");
-  const auto blocks = buildBlocks(obj);
-  const AddressAnalysis aa = analyzeAddresses(defaultArch(), blocks,
-                                              obj.entry);
+  const AddressAnalysis aa =
+      analyzeAddresses(defaultArch(), core::BlockGraph::build(obj));
   // 0xd0000000 remaps to 0x00800000: new high immediate is 0x0080.
   ASSERT_EQ(aa.movha_rewrites.size(), 1u);
   EXPECT_EQ(aa.movha_rewrites.begin()->second, 0x0080);
@@ -178,9 +176,8 @@ other:  movha a0, 0xd001
 join:   ldw d2, [a0]0
         halt
 )");
-  const auto blocks = buildBlocks(obj);
-  const AddressAnalysis aa = analyzeAddresses(defaultArch(), blocks,
-                                              obj.entry);
+  const AddressAnalysis aa =
+      analyzeAddresses(defaultArch(), core::BlockGraph::build(obj));
   // a0 differs on the two paths: the access must be unknown.
   EXPECT_EQ(aa.unknown_accesses, 1u);
   EXPECT_EQ(aa.ram_accesses, 0u);
