@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   printHeader("Ablation: cache-correction routine call vs. inline",
               "the design choice of section 3.4.2");
   const cabt::arch::ArchDescription desc = defaultArch();
+  JsonReport report("ablation_cache_inline");
   std::printf("%-10s %-20s %14s %14s %12s\n", "workload", "config",
               "vliw cycles", "generated", "code bytes");
   for (const std::string& name : cabt::workloads::figure5Names()) {
@@ -53,8 +54,10 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(run.vliw_cycles),
                   static_cast<unsigned long long>(run.generated_cycles),
                   static_cast<unsigned long long>(run.code_bytes));
+      report.add(name, cfg.label, run.vliw_cycles, 0.0);
     }
   }
+  report.write();
   std::printf("\n(inlining removes the call/return delay slots per cache "
               "analysis block at the price of code size)\n");
 

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   printHeader("Ablation: host speed of the simulation vehicles",
               "the ISS taxonomy of section 2");
   const cabt::arch::ArchDescription desc = defaultArch();
+  JsonReport report("ablation_iss_vs_xlat");
   std::printf("%-10s %12s %12s %12s %12s\n", "workload", "rtl host",
               "iss host", "xlat L0 host", "xlat L3 host");
   for (const std::string& name : cabt::workloads::figure5Names()) {
@@ -36,9 +37,13 @@ int main(int argc, char** argv) {
       cabt::rtlsim::RtlCore rtl(desc, obj);
       rtl.run();
     });
+    uint64_t iss_instructions = 0;
+    uint64_t iss_cycles = 0;
     const double t_iss = time([&] {
       cabt::iss::Iss iss(desc, obj);
       iss.run();
+      iss_instructions = iss.stats().instructions;
+      iss_cycles = iss.stats().cycles;
     });
     // Translation happens once; only the run is timed (compiled
     // simulation amortises the static translation).
@@ -59,7 +64,13 @@ int main(int argc, char** argv) {
     std::printf("%-10s %12s %12s %12s %12s\n", name.c_str(),
                 humanTime(t_rtl).c_str(), humanTime(t_iss).c_str(),
                 humanTime(t_l0).c_str(), humanTime(t_l3).c_str());
+    const double mi = static_cast<double>(iss_instructions) / 1e6;
+    report.add(name, "rtl-host", iss_cycles, mi / t_rtl);
+    report.add(name, "iss-host", iss_cycles, mi / t_iss);
+    report.add(name, "xlat-l0-host", iss_cycles, mi / t_l0);
+    report.add(name, "xlat-l3-host", iss_cycles, mi / t_l3);
   }
+  report.write();
   std::printf("\n(ordering expected: RT-level slowest by orders of "
               "magnitude; detail levels trade host speed for accuracy)\n");
 

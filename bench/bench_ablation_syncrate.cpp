@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
               "the synchronization device of section 3.1");
   const cabt::arch::ArchDescription desc = defaultArch();
   const unsigned rates[] = {1, 2, 4, 8};
+  JsonReport report("ablation_syncrate");
   std::printf("%-10s %6s %14s %14s %14s %10s\n", "workload", "rate",
               "vliw cycles", "sync stalls", "generated", "slowdown");
   for (const std::string& name : cabt::workloads::figure5Names()) {
@@ -38,8 +39,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(run.generated_cycles),
                   static_cast<double>(run.vliw_cycles) /
                       static_cast<double>(base_cycles));
+      report.add(name, "rate_" + std::to_string(rate), run.vliw_cycles,
+                 0.0);
     }
   }
+  report.write();
   std::printf("\n(the generated cycle stream is identical at every rate; "
               "only the wall-clock cost of waiting changes)\n");
 

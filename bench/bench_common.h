@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,7 @@ struct VariantRun {
   uint64_t sync_stalls = 0;
   uint64_t correction_cycles = 0;
   uint64_t code_bytes = 0;
+  double host_seconds = 0;  ///< wall-clock time of the platform run
   [[nodiscard]] double seconds() const {
     return static_cast<double>(vliw_cycles) / kVliwHz;
   }
@@ -65,6 +67,57 @@ struct VariantRun {
     return static_cast<double>(vliw_cycles) /
            static_cast<double>(instructions);
   }
+  /// Host-side simulation speed in source MIPS.
+  [[nodiscard]] double hostMips(uint64_t instructions) const {
+    return static_cast<double>(instructions) / host_seconds / 1e6;
+  }
+};
+
+/// Machine-readable perf record. Every bench writes BENCH_<name>.json
+/// into the working directory — one row per (workload, variant) with the
+/// modeled cycle count and the host-side simulation speed — so the perf
+/// trajectory is tracked across PRs by diffing the JSON files.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(const std::string& workload, const std::string& variant,
+           uint64_t cycles, double host_mips) {
+    rows_.push_back({workload, variant, cycles, host_mips});
+  }
+
+  /// Writes BENCH_<name>.json; failures are reported but non-fatal (a
+  /// read-only working directory must not kill the bench).
+  void write() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      char mips[32];
+      std::snprintf(mips, sizeof(mips), "%.3f", r.host_mips);
+      out << "    {\"workload\": \"" << r.workload << "\", \"variant\": \""
+          << r.variant << "\", \"cycles\": " << r.cycles
+          << ", \"host_mips\": " << mips << "}"
+          << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Row {
+    std::string workload;
+    std::string variant;
+    uint64_t cycles = 0;
+    double host_mips = 0;
+  };
+  std::string bench_name_;
+  std::vector<Row> rows_;
 };
 
 inline arch::ArchDescription defaultArch() {
@@ -93,12 +146,15 @@ inline VariantRun runVariant(const arch::ArchDescription& desc,
   opts.level = level;
   const xlat::TranslationResult t = xlat::translate(desc, obj, opts);
   platform::EmulationPlatform plat(desc, t.image, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
   const platform::RunResult run = plat.run();
+  const auto t1 = std::chrono::steady_clock::now();
   if (run.state != vliw::RunState::kHalted) {
     throw Error("translated run did not halt");
   }
   return {run.vliw_cycles, run.generated_cycles, run.sync_stall_cycles,
-          run.correction_cycles, t.stats.code_bytes};
+          run.correction_cycles, t.stats.code_bytes,
+          std::chrono::duration<double>(t1 - t0).count()};
 }
 
 /// All four translation variants of Figure 5 / Table 1, in paper order.

@@ -123,6 +123,19 @@ void registerBenchmarks(const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   const auto rows = cabt::bench::collect();
   cabt::bench::printFigure(rows);
+  {
+    cabt::bench::JsonReport report("fig5_speed");
+    for (const auto& r : rows) {
+      report.add(r.workload, "board", r.board.cycles, r.board.hostMips());
+      for (size_t v = 0; v < r.variants.size(); ++v) {
+        report.add(r.workload,
+                   cabt::xlat::detailLevelName(cabt::bench::allLevels()[v]),
+                   r.variants[v].vliw_cycles,
+                   r.variants[v].hostMips(r.board.instructions));
+      }
+    }
+    report.write();
+  }
   benchmark::Initialize(&argc, argv);
   cabt::bench::registerBenchmarks(rows);
   benchmark::RunSpecifiedBenchmarks();

@@ -69,6 +69,7 @@ EngineRun runIss(const elf::Object& obj, const IssMode& mode,
 void printComparison() {
   printHeader("ISS block-cache speedup [host MIPS]",
               "the section-2 interpretation-overhead argument");
+  JsonReport report("iss_blockcache");
   std::printf("%-10s %-14s %12s %12s %9s\n", "workload", "mode",
               "step MIPS", "block MIPS", "speedup");
   for (const std::string& name : workloads::figure5Names()) {
@@ -83,8 +84,13 @@ void printComparison() {
       std::printf("%-10s %-14s %12.2f %12.2f %8.2fx\n", name.c_str(),
                   mode.name, slow.hostMips(), fast.hostMips(),
                   slow.host_seconds / fast.host_seconds);
+      report.add(name, std::string(mode.name) + "/step", slow.cycles,
+                 slow.hostMips());
+      report.add(name, std::string(mode.name) + "/block", fast.cycles,
+                 fast.hostMips());
     }
   }
+  report.write();
 }
 
 void registerBenchmarks() {

@@ -99,6 +99,17 @@ int main(int argc, char** argv) {
     rows.push_back(collectRow(name));
   }
   printTable(rows);
+  {
+    JsonReport report("table2_runtime");
+    for (const Row& r : rows) {
+      const double rtl_mips = static_cast<double>(r.instructions) /
+                              r.rtl_host_seconds / 1e6;
+      report.add(r.workload, "rtlsim-host", r.instructions, rtl_mips);
+      report.add(r.workload, "fpga-modeled",
+                 static_cast<uint64_t>(r.fpga_seconds * kFpgaHz), 0.0);
+    }
+    report.write();
+  }
 
   // Host-time benchmarks: the RT-level model vs. the translated execution
   // on this machine (the "simulation acceleration" the title promises).

@@ -6,12 +6,20 @@
 
 namespace cabt::core {
 
-BlockGraph BlockGraph::build(const elf::Object& object) {
+BlockGraph BlockGraph::build(const elf::Object& object,
+                             const std::vector<uint32_t>& extra_leaders) {
   BlockGraph graph;
   graph.instrs_ = trc::decodeText(object);
   CABT_CHECK(!graph.instrs_.empty(), "program has no instructions");
   graph.leaders_ = trc::findLeaders(object, graph.instrs_);
   graph.entry_ = object.entry;
+  for (const uint32_t addr : extra_leaders) {
+    const uint32_t first = graph.instrs_.front().addr;
+    const trc::Instr& last_instr = graph.instrs_.back();
+    if (addr >= first && addr <= last_instr.addr) {
+      graph.leaders_.insert(addr);
+    }
+  }
 
   for (size_t i = 0; i < graph.instrs_.size(); ++i) {
     const trc::Instr& instr = graph.instrs_[i];

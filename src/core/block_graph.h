@@ -45,7 +45,12 @@ class BlockGraph {
  public:
   /// Decodes .text, discovers leaders and builds the blocks with their
   /// successor edges. Throws cabt::Error on undecodable or empty input.
-  static BlockGraph build(const elf::Object& object);
+  /// `extra_leaders` adds block boundaries that static control flow does
+  /// not reveal — e.g. interrupt handler entries, which are only ever
+  /// reached via the interrupt controller's vector register (addresses
+  /// outside .text are ignored).
+  static BlockGraph build(const elf::Object& object,
+                          const std::vector<uint32_t>& extra_leaders = {});
 
   [[nodiscard]] const std::vector<trc::Instr>& instrs() const {
     return instrs_;

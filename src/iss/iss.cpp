@@ -15,7 +15,7 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
     : desc_(desc),
       config_(config),
       bus_(bus),
-      graph_(core::BlockGraph::build(object)),
+      graph_(core::BlockGraph::build(object, config.extra_leaders)),
       timer_(desc_.pipeline),
       icache_(desc_.icache) {
   const std::vector<Instr>& instrs = graph_.instrs();
@@ -49,14 +49,60 @@ uint64_t Iss::currentCycle() const {
   return committed_cycles_ + live_pipe_;
 }
 
+uint64_t Iss::localTime() const {
+  return config_.model_timing ? currentCycle() : stats_.instructions;
+}
+
 void Iss::syncBusClock() {
   if (bus_ == nullptr) {
     return;
   }
-  const uint64_t now = currentCycle();
-  while (bus_->socCycle() < now) {
-    bus_->clockCycle();
+  // Lazy time advancement: devices jump to this core's local time in one
+  // call. With decoupled initiators sharing the bus the call is a no-op
+  // when another core already advanced it further (LT skew, bounded by
+  // the kernel quantum).
+  bus_->advanceTo(localTime());
+}
+
+void Iss::maybeTakeIrq() {
+  if (irq_ == nullptr || stop_ != StopReason::kRunning) {
+    return;
   }
+  syncBusClock();  // interrupt state is sampled at this core's local time
+  const std::optional<uint32_t> vector = irq_->takeIrq(localTime());
+  if (!vector.has_value()) {
+    return;
+  }
+  a_[kIrqLinkRegister] = pc_;
+  pc_ = *vector;
+  ++stats_.irqs_taken;
+  if (config_.model_timing) {
+    committed_cycles_ += config_.irq_entry_cycles;
+    stats_.irq_entry_cycles += config_.irq_entry_cycles;
+  }
+}
+
+bool Iss::checkDebugBreak() {
+  if (skip_breakpoint_at_.has_value() && *skip_breakpoint_at_ == pc_) {
+    // Resume over the breakpoint we stopped at: this call is immediately
+    // followed by the instruction's execution. The skip is keyed to the
+    // stop address so an interrupt redirecting pc_ to the handler first
+    // (with its own breakpoint) still stops there, and the skip survives
+    // until control returns to the original instruction.
+    skip_breakpoint_at_.reset();
+    return false;
+  }
+  if (breakpoints_.count(pc_) == 0) {
+    return false;
+  }
+  stop_ = StopReason::kDebugBreak;
+  skip_breakpoint_at_ = pc_;  // the resume executes this instruction
+  return true;
+}
+
+bool Iss::blockHasBreakpoint(const core::ExecBlock& block) const {
+  const auto it = breakpoints_.lower_bound(block.addr);
+  return it != breakpoints_.end() && *it <= block.instrs.back().addr;
 }
 
 void Iss::commitBlock() {
@@ -82,6 +128,9 @@ void Iss::finishBlock() {
 }
 
 StopReason Iss::step() {
+  if (stop_ == StopReason::kDebugBreak) {
+    stop_ = StopReason::kRunning;  // resume over the breakpoint
+  }
   if (stop_ != StopReason::kRunning) {
     return stop_;
   }
@@ -89,10 +138,23 @@ StopReason Iss::step() {
     stop_ = StopReason::kMaxInstructions;
     return stop_;
   }
+  // Basic-block boundary: commit the open block, then sample the
+  // interrupt input — the only points where interrupts are taken, so the
+  // stepping engine and the block-dispatch engine accept every interrupt
+  // at the identical cycle count.
+  if (isLeader(pc_)) {
+    if (in_block_) {
+      finishBlock();
+    }
+    maybeTakeIrq();
+  }
+  if (checkDebugBreak()) {
+    return stop_;
+  }
   const Instr& instr = fetch(pc_);
 
   if (config_.model_timing) {
-    if (!in_block_ || graph_.leaders().count(pc_) != 0) {
+    if (!in_block_ || isLeader(pc_)) {
       finishBlock();
       current_block_ = BlockRecord{};
       current_block_.addr = pc_;
@@ -101,7 +163,7 @@ StopReason Iss::step() {
     }
     // Instruction fetch: one cache access per distinct consecutive line
     // within the block (the cache-analysis-block rule).
-    if (desc_.icache.enabled) {
+    if (icacheOn()) {
       const uint32_t line = desc_.icache.lineOf(pc_);
       if (!have_line_ || line != last_line_) {
         have_line_ = true;
@@ -142,7 +204,7 @@ void Iss::dispatchBlock(core::ExecBlock& block) {
   for (size_t i = 0; i < n; ++i) {
     const Instr& instr = block.instrs[i];
     if (timing) {
-      if (desc_.icache.enabled && block.new_line[i] != 0) {
+      if (icacheOn() && block.new_line[i] != 0) {
         ++stats_.icache_accesses;
         if (!icache_.access(instr.addr)) {
           ++stats_.icache_misses;
@@ -165,12 +227,28 @@ void Iss::dispatchBlock(core::ExecBlock& block) {
   }
 }
 
-StopReason Iss::run() {
+StopReason Iss::run() { return runLoop(~static_cast<uint64_t>(0)); }
+
+StopReason Iss::runUntil(uint64_t time_limit) { return runLoop(time_limit); }
+
+StopReason Iss::runLoop(uint64_t time_limit) {
+  if (stop_ == StopReason::kDebugBreak) {
+    stop_ = StopReason::kRunning;  // resume over the breakpoint
+  }
   if (!config_.use_block_cache) {
-    while (step() == StopReason::kRunning) {
+    while (stop_ == StopReason::kRunning) {
+      if (stats_.instructions >= config_.max_instructions) {
+        stop_ = StopReason::kMaxInstructions;
+        break;
+      }
+      // Quantum yields happen at the same boundaries as in the block
+      // engine, before the interrupt sample of the boundary.
+      if (isLeader(pc_) && localTime() >= time_limit) {
+        return StopReason::kCycleLimit;
+      }
+      step();
     }
-    return stop_ == StopReason::kRunning ? StopReason::kMaxInstructions
-                                         : stop_;
+    return stop_;
   }
   while (stop_ == StopReason::kRunning) {
     if (stats_.instructions >= config_.max_instructions) {
@@ -179,15 +257,29 @@ StopReason Iss::run() {
     }
     // A still-open block is committed lazily, exactly when the stepping
     // engine would: at the first instruction of the next leader.
-    if (in_block_ && graph_.leaders().count(pc_) != 0) {
+    const bool boundary = isLeader(pc_);
+    if (boundary && in_block_) {
       finishBlock();
     }
+    if (boundary) {
+      if (localTime() >= time_limit) {
+        return StopReason::kCycleLimit;  // resumable: stop_ stays running
+      }
+      maybeTakeIrq();  // may redirect pc_ to the vector (also a leader)
+    }
     core::ExecBlock* block = in_block_ ? nullptr : blockCache().lookup(pc_);
+    if (block != nullptr && !breakpoints_.empty() &&
+        blockHasBreakpoint(*block)) {
+      // Never dispatch a cached block containing a breakpoint, however
+      // hot: the stepping fallback stops exactly on the breakpoint.
+      block = nullptr;
+    }
     if (block == nullptr ||
         stats_.instructions + block->instrs.size() >
             config_.max_instructions) {
-      // Per-instruction fallback: mid-block landing addresses and the
-      // final instructions before the instruction limit.
+      // Per-instruction fallback: mid-block landing addresses, blocks
+      // with breakpoints and the final instructions before the
+      // instruction limit.
       step();
       continue;
     }
@@ -203,7 +295,7 @@ StopReason Iss::run() {
         timer_.issue(instr.timedOp());
       }
       live_pipe_ = timer_.cycles();
-      if (desc_.icache.enabled) {
+      if (icacheOn()) {
         have_line_ = true;
         last_line_ = desc_.icache.lineOf(block->instrs.back().addr);
       }
@@ -263,7 +355,7 @@ void Iss::execute(const Instr& in) {
     if (predicted_taken != taken) {
       ++stats_.mispredicts;
     }
-    if (config_.model_timing) {
+    if (config_.model_timing && config_.model_branch_extras) {
       const unsigned extra = bm.conditionalExtra(predicted_taken, taken);
       committed_cycles_ += extra;
       stats_.branch_extra += extra;
@@ -271,7 +363,7 @@ void Iss::execute(const Instr& in) {
     }
   };
   const auto uncondExtra = [&] {
-    if (config_.model_timing) {
+    if (config_.model_timing && config_.model_branch_extras) {
       const unsigned extra = bm.unconditionalExtra(in.cls());
       committed_cycles_ += extra;
       stats_.branch_extra += extra;

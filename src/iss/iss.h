@@ -21,11 +21,20 @@
 // about block structure. The two engines are bit-identical in both
 // architectural state and every IssStats counter (checked by
 // tests/random_program_test.cpp).
+//
+// Interrupts (soc::IrqSource, attached via attachIrq) are sampled at
+// basic-block boundaries only, and debug breakpoints force the block
+// engine back onto the stepping engine for the containing block — both
+// rules keep the engines bit-identical under interrupts and debugging
+// (see DESIGN.md, "IRQ-at-block-boundary rule"). runUntil() yields at
+// boundaries once a local-time limit is reached; the event kernel
+// (sim/kernel.h) uses it to run cores in quantum-bounded slices.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -38,15 +47,23 @@
 #include "core/block_graph.h"
 #include "elf/elf.h"
 #include "soc/bus.h"
+#include "soc/interrupts.h"
 #include "trc/isa.h"
 
 namespace cabt::iss {
+
+/// A14 receives the return address on interrupt entry (the handler
+/// returns with `ji a14` after signalling end-of-interrupt); programs
+/// that take interrupts must keep A14 free.
+constexpr int kIrqLinkRegister = 14;
 
 enum class StopReason {
   kRunning,
   kHalted,
   kBreakpoint,      ///< BKPT instruction executed
   kMaxInstructions,
+  kDebugBreak,      ///< stopped *at* a debug breakpoint; resumable
+  kCycleLimit,      ///< runUntil() reached its local-time limit; resumable
 };
 
 struct IssStats {
@@ -63,6 +80,8 @@ struct IssStats {
   uint64_t mispredicts = 0;
   uint64_t io_reads = 0;
   uint64_t io_writes = 0;
+  uint64_t irqs_taken = 0;        ///< interrupts accepted at block boundaries
+  uint64_t irq_entry_cycles = 0;  ///< cycles charged for interrupt entry
   /// Blocks dispatched through the predecoded block cache (the rest ran
   /// on the per-instruction fallback engine). Not part of the
   /// architectural comparison between the two engines.
@@ -71,11 +90,25 @@ struct IssStats {
 
 struct IssConfig {
   bool model_timing = true;  ///< false = functional-only (no cycle counts)
+  /// Detail-level knobs mirroring the translator's levels (see
+  /// platform::issConfigFor); ignored when model_timing is false.
+  /// model_branch_extras = false drops the dynamic branch-outcome cycles
+  /// while keeping the outcome counters (cond_branches/mispredicts);
+  /// model_icache = false disables the cache model entirely — no
+  /// accesses, misses or penalty cycles are recorded.
+  bool model_branch_extras = true;
+  bool model_icache = true;
   /// false = force the per-instruction engine even in run() (the
   /// pre-block-cache behaviour; kept for differential testing and for
   /// debugger-style consumers that want stepping semantics throughout).
   bool use_block_cache = true;
   uint64_t max_instructions = 500'000'000;
+  /// Cycles charged when an interrupt is accepted (pipeline flush + the
+  /// vector fetch), at the block boundary where it is taken.
+  unsigned irq_entry_cycles = 6;
+  /// Additional block leaders (interrupt handler entries — reached only
+  /// through the vector register, invisible to static control flow).
+  std::vector<uint32_t> extra_leaders;
 };
 
 /// Per-executed-block timing record (enabled on demand; used by accuracy
@@ -101,13 +134,43 @@ class Iss {
   Iss(const arch::ArchDescription& desc, const elf::Object& object,
       soc::SocBus* bus = nullptr, IssConfig config = {});
 
-  /// Runs until HALT/BKPT or the instruction limit, dispatching whole
-  /// cached blocks when possible.
+  /// Runs until HALT/BKPT, a debug breakpoint or the instruction limit,
+  /// dispatching whole cached blocks when possible.
   StopReason run();
+  /// Runs like run() but additionally yields with kCycleLimit once
+  /// localTime() reaches `time_limit`, checked at basic-block boundaries
+  /// (a slice may overshoot by the open block). This is the temporal-
+  /// decoupling hook: a kernel-hosted core runs one quantum per
+  /// activation and stays resumable.
+  StopReason runUntil(uint64_t time_limit);
   /// Executes a single instruction (the per-instruction engine).
   StopReason step();
 
+  /// Local time of this core: the modelled cycle count, or the retired
+  /// instruction count in functional mode (model_timing = false), so
+  /// functional cores still interleave and clock the bus deterministically.
+  [[nodiscard]] uint64_t localTime() const;
+
+  /// Connects the core's interrupt input; sampled at every basic-block
+  /// boundary (after the bus has been advanced to localTime()). On
+  /// delivery: A14 = return PC, PC = vector, irq_entry_cycles charged.
+  void attachIrq(soc::IrqSource* irq) { irq_ = irq; }
+
+  /// Debugger-style breakpoints: run()/step() stop with kDebugBreak
+  /// *before* executing the instruction at `addr` (pc() == addr). The
+  /// block engine refuses to dispatch any cached block containing a
+  /// breakpoint and falls back to stepping, no matter how hot the block
+  /// is. Resuming (the next run()/step()) executes the instruction.
+  void addBreakpoint(uint32_t addr) { breakpoints_.insert(addr); }
+  void removeBreakpoint(uint32_t addr) { breakpoints_.erase(addr); }
+  [[nodiscard]] const std::set<uint32_t>& breakpoints() const {
+    return breakpoints_;
+  }
+
   [[nodiscard]] uint32_t pc() const { return pc_; }
+  /// Stop state of the last run()/runUntil()/step() (kRunning while the
+  /// core is resumable, including after a kCycleLimit yield).
+  [[nodiscard]] StopReason stopReason() const { return stop_; }
   [[nodiscard]] uint32_t d(int i) const { return d_.at(i); }
   [[nodiscard]] uint32_t a(int i) const { return a_.at(i); }
   void setPc(uint32_t pc) { pc_ = pc; }
@@ -147,6 +210,19 @@ class Iss {
   void syncBusClock();
   [[nodiscard]] uint64_t currentCycle() const;
   void execute(const trc::Instr& instr);
+  StopReason runLoop(uint64_t time_limit);
+  /// Samples the interrupt input at a block boundary; may redirect pc_.
+  void maybeTakeIrq();
+  /// Stops with kDebugBreak when pc_ sits on a breakpoint (once per
+  /// arrival: a resume steps over it). Returns true when stopped.
+  bool checkDebugBreak();
+  [[nodiscard]] bool isLeader(uint32_t addr) const {
+    return graph_.leaders().count(addr) != 0;
+  }
+  [[nodiscard]] bool icacheOn() const {
+    return desc_.icache.enabled && config_.model_icache;
+  }
+  [[nodiscard]] bool blockHasBreakpoint(const core::ExecBlock& block) const;
 
   /// Builds the predecoded cache on first block-engine dispatch, so
   /// stepping-only and forced-per-instruction configurations never pay
@@ -156,10 +232,16 @@ class Iss {
   arch::ArchDescription desc_;
   IssConfig config_;
   soc::SocBus* bus_;
+  soc::IrqSource* irq_ = nullptr;
   SparseMemory mem_;
   core::BlockGraph graph_;
   std::unique_ptr<core::BlockCache> cache_;
   std::unordered_map<uint32_t, size_t> by_addr_;
+  std::set<uint32_t> breakpoints_;
+  /// Address whose breakpoint the next arrival skips (a resume must
+  /// execute the instruction it stopped at; keyed by address so an
+  /// interrupt redirect in between cannot consume the skip elsewhere).
+  std::optional<uint32_t> skip_breakpoint_at_;
 
   std::array<uint32_t, 16> d_{};
   std::array<uint32_t, 16> a_{};

@@ -1,5 +1,7 @@
 #include "platform/platform.h"
 
+#include <algorithm>
+
 #include "common/strutil.h"
 
 namespace cabt::platform {
@@ -24,9 +26,45 @@ EmulationPlatform::EmulationPlatform(const arch::ArchDescription& desc,
   });
 }
 
+namespace {
+
+/// The V6X core as an event-kernel process: one quantum of VLIW cycles
+/// per activation. The synchronization device and the bus bridge stay in
+/// the VLIW clock domain (the cycle hook), exactly as before — the
+/// kernel only owns the slicing, so the run is bit-identical to the old
+/// monolithic run() loop.
+class VliwProcess : public sim::Process {
+ public:
+  VliwProcess(vliw::V6xSim* sim, uint64_t max_cycles)
+      : sim::Process("v6x"), sim_(sim), budget_(max_cycles) {}
+
+  void activate(sim::Kernel& kernel) override {
+    const uint64_t slice = std::min(kernel.quantum(), budget_);
+    const uint64_t before = sim_->stats().cycles;
+    state_ = sim_->run(slice);
+    budget_ -= sim_->stats().cycles - before;
+    if (state_ == vliw::RunState::kMaxCycles && budget_ > 0) {
+      kernel.sync(this, kernel.now() + slice);
+    }
+  }
+
+  [[nodiscard]] vliw::RunState state() const { return state_; }
+
+ private:
+  vliw::V6xSim* sim_;
+  uint64_t budget_;
+  vliw::RunState state_ = vliw::RunState::kRunning;
+};
+
+}  // namespace
+
 RunResult EmulationPlatform::run() {
+  sim::Kernel kernel(config_.quantum);
+  VliwProcess proc(&sim_, config_.max_cycles);
+  kernel.addProcess(&proc);
+  kernel.run();
   RunResult r;
-  r.state = sim_.run(config_.max_cycles);
+  r.state = proc.state();
   r.vliw_cycles = sim_.stats().cycles;
   r.generated_cycles = sync_->totalGenerated();
   r.sync_stall_cycles = sim_.stats().stall_cycles;
@@ -34,13 +72,116 @@ RunResult EmulationPlatform::run() {
   return r;
 }
 
+iss::IssConfig issConfigFor(xlat::DetailLevel level, iss::IssConfig base) {
+  switch (level) {
+    case xlat::DetailLevel::kFunctional:
+      base.model_timing = false;
+      break;
+    case xlat::DetailLevel::kStatic:
+      base.model_branch_extras = false;
+      base.model_icache = false;
+      break;
+    case xlat::DetailLevel::kBranchPredict:
+      base.model_icache = false;
+      break;
+    case xlat::DetailLevel::kICache:
+      break;
+  }
+  return base;
+}
+
+uint32_t symbolAddr(const elf::Object& object, std::string_view symbol) {
+  const elf::Symbol* sym = object.findSymbol(symbol);
+  CABT_CHECK(sym != nullptr, "no symbol '" << std::string(symbol) << "'");
+  return sym->value;
+}
+
+/// One ISS core as an event-kernel process: runs until its local time
+/// reaches the next quantum boundary, then syncs; finishes (and stops
+/// rescheduling) on any non-resumable stop.
+class ReferenceBoard::CoreProcess : public sim::Process {
+ public:
+  CoreProcess(iss::Iss* core, std::string name)
+      : sim::Process(std::move(name)), core_(core) {}
+
+  void activate(sim::Kernel& kernel) override {
+    const iss::StopReason r =
+        core_->runUntil(core_->localTime() + kernel.quantum());
+    if (r == iss::StopReason::kCycleLimit) {
+      kernel.sync(this, core_->localTime());
+    }
+  }
+
+ private:
+  iss::Iss* core_;
+};
+
 ReferenceBoard::ReferenceBoard(const arch::ArchDescription& desc,
                                const elf::Object& object,
                                iss::IssConfig config) {
+  BoardConfig cfg;
+  cfg.iss = std::move(config);
+  // A lone initiator is exactly quantum-invariant; a large quantum just
+  // minimises kernel overhead.
+  cfg.quantum = 65'536;
+  init(desc, {&object}, cfg);
+}
+
+ReferenceBoard::ReferenceBoard(const arch::ArchDescription& desc,
+                               const std::vector<const elf::Object*>& images,
+                               BoardConfig config) {
+  init(desc, images, config);
+}
+
+void ReferenceBoard::init(const arch::ArchDescription& desc,
+                          const std::vector<const elf::Object*>& images,
+                          const BoardConfig& config) {
+  CABT_CHECK(!images.empty(), "reference board needs at least one core");
   const MemRegion* io = desc.memory_map.findNamed("io");
   CABT_CHECK(io != nullptr, "architecture has no 'io' region");
+  kernel_.setQuantum(config.quantum);
   board_ = std::make_unique<soc::StandardPeripherals>(io->base);
-  iss_ = std::make_unique<iss::Iss>(desc, object, &board_->bus, config);
+  ptimer_ = std::make_unique<soc::ProgrammableTimer>();
+  mailbox_ = std::make_unique<soc::MailboxDevice>();
+  board_->bus.attach(ptimer_.get(),
+                     io->base + soc::StandardIoMap::kPTimerOffset,
+                     soc::StandardIoMap::kPTimerSize);
+  board_->bus.attach(mailbox_.get(),
+                     io->base + soc::StandardIoMap::kMailboxOffset,
+                     soc::StandardIoMap::kMailboxSize);
+  for (size_t i = 0; i < images.size(); ++i) {
+    auto intc = std::make_unique<soc::InterruptController>(
+        "intc" + std::to_string(i));
+    board_->bus.attach(intc.get(),
+                       io->base + soc::StandardIoMap::kIntcOffset +
+                           static_cast<uint32_t>(i) *
+                               soc::StandardIoMap::kIntcStride,
+                       soc::InterruptController::kWindowSize);
+    mailbox_->setDoorbell(i, [raw = intc.get()] { raw->raise(1); });
+    auto core =
+        std::make_unique<iss::Iss>(desc, *images[i], &board_->bus, config.iss);
+    core->attachIrq(intc.get());
+    intcs_.push_back(std::move(intc));
+    cores_.push_back(std::move(core));
+  }
+  ptimer_->setIrqTarget(intcs_.front().get(), 0);
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    procs_.push_back(std::make_unique<CoreProcess>(
+        cores_[i].get(), "core" + std::to_string(i)));
+    kernel_.addProcess(procs_.back().get());
+  }
+}
+
+ReferenceBoard::~ReferenceBoard() = default;
+
+iss::StopReason ReferenceBoard::run() {
+  kernel_.run();
+  for (const std::unique_ptr<iss::Iss>& core : cores_) {
+    if (core->stopReason() != iss::StopReason::kHalted) {
+      return core->stopReason();
+    }
+  }
+  return iss::StopReason::kHalted;
 }
 
 bool valuesMatch(const arch::ArchDescription& desc, uint32_t iss_value,

@@ -3,21 +3,27 @@
 // clock cycles for the attached hardware, and the bus interface that
 // adapts VLIW accesses to the SoC bus of the emulated processor core.
 //
-// Also provides the reference board (ISS + same peripherals) and the
-// state-comparison helpers used by the equivalence tests.
+// Also provides the reference board (N ISS cores + shared peripherals,
+// hosted on the event kernel with quantum-based temporal decoupling) and
+// the state-comparison helpers used by the equivalence tests.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "arch/arch.h"
 #include "elf/elf.h"
 #include "iss/iss.h"
+#include "sim/kernel.h"
+#include "soc/interrupts.h"
 #include "soc/standard_board.h"
 #include "soc/sync_device.h"
 #include "vliw/sim.h"
 #include "xlat/regmap.h"
+#include "xlat/translator.h"
 
 namespace cabt::platform {
 
@@ -26,6 +32,8 @@ struct PlatformConfig {
   unsigned vliw_cycles_per_soc_cycle = 1;
   uint64_t vliw_clock_hz = 200'000'000;
   uint64_t max_cycles = 4'000'000'000ull;
+  /// VLIW cycles the core process runs per event-kernel activation.
+  uint64_t quantum = 65'536;
 };
 
 /// Memory-mapped synchronization device front end for the V6X core.
@@ -147,22 +155,74 @@ class EmulationPlatform {
   vliw::V6xSim sim_;
 };
 
-/// The reference board: the ISS with the same peripherals, used as ground
-/// truth for instruction counts, cycle counts and final state.
+/// ISS configuration equivalent to a translator detail level, for the
+/// scenario matrix (single-core / multi-core / interrupt-driven crossed
+/// with functional / static / branch-predict / icache).
+iss::IssConfig issConfigFor(xlat::DetailLevel level, iss::IssConfig base = {});
+
+/// Address of `symbol` in `object`; throws when absent. Used to resolve
+/// interrupt handler entries for IssConfig::extra_leaders.
+uint32_t symbolAddr(const elf::Object& object, std::string_view symbol);
+
+struct BoardConfig {
+  /// Base ISS configuration applied to every core (detail knobs,
+  /// instruction limits, extra block leaders for interrupt handlers).
+  iss::IssConfig iss;
+  /// SoC cycles of temporal decoupling: how far one core runs per kernel
+  /// activation before syncing. With a single core the simulation is
+  /// exactly quantum-invariant; with several it bounds cross-core
+  /// visibility latency (see sim/kernel.h).
+  sim::Cycle quantum = 1024;
+};
+
+/// The reference board, grown into a multi-core SoC: N ISS cores (one
+/// ELF image each, private program memory) share the standard
+/// peripherals plus the interrupt path — a per-core interrupt
+/// controller, a programmable interval timer wired to core 0 line 0, and
+/// an inter-core mailbox whose doorbell `i` rings line 1 on core i. The
+/// cores are event-kernel processes that each run up to one quantum of
+/// local time before syncing. The single-image constructor keeps the
+/// original ground-truth behaviour (one core, same peripherals).
 class ReferenceBoard {
  public:
   ReferenceBoard(const arch::ArchDescription& desc, const elf::Object& object,
                  iss::IssConfig config = {});
+  ReferenceBoard(const arch::ArchDescription& desc,
+                 const std::vector<const elf::Object*>& images,
+                 BoardConfig config = {});
+  ~ReferenceBoard();  // out of line: CoreProcess is an incomplete type here
 
-  iss::StopReason run() { return iss_->run(); }
+  /// Runs every core to completion under the kernel. Returns kHalted
+  /// when all cores halted, else the first non-halted core's reason.
+  iss::StopReason run();
 
-  [[nodiscard]] iss::Iss& iss() { return *iss_; }
-  [[nodiscard]] const iss::Iss& iss() const { return *iss_; }
+  [[nodiscard]] size_t numCores() const { return cores_.size(); }
+  [[nodiscard]] iss::Iss& core(size_t i) { return *cores_.at(i); }
+  [[nodiscard]] const iss::Iss& core(size_t i) const { return *cores_.at(i); }
+  [[nodiscard]] iss::Iss& iss() { return *cores_.front(); }
+  [[nodiscard]] const iss::Iss& iss() const { return *cores_.front(); }
   [[nodiscard]] soc::StandardPeripherals& board() { return *board_; }
+  [[nodiscard]] soc::InterruptController& intc(size_t i) {
+    return *intcs_.at(i);
+  }
+  [[nodiscard]] soc::ProgrammableTimer& ptimer() { return *ptimer_; }
+  [[nodiscard]] soc::MailboxDevice& mailbox() { return *mailbox_; }
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
 
  private:
+  class CoreProcess;
+
+  void init(const arch::ArchDescription& desc,
+            const std::vector<const elf::Object*>& images,
+            const BoardConfig& config);
+
+  sim::Kernel kernel_;
   std::unique_ptr<soc::StandardPeripherals> board_;
-  std::unique_ptr<iss::Iss> iss_;
+  std::vector<std::unique_ptr<soc::InterruptController>> intcs_;
+  std::unique_ptr<soc::ProgrammableTimer> ptimer_;
+  std::unique_ptr<soc::MailboxDevice> mailbox_;
+  std::vector<std::unique_ptr<iss::Iss>> cores_;
+  std::vector<std::unique_ptr<CoreProcess>> procs_;
 };
 
 /// Remap-aware equality of an ISS value and a platform value: equal, or

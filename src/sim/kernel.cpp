@@ -1,0 +1,44 @@
+#include "sim/kernel.h"
+
+namespace cabt::sim {
+
+void ClockedProcess::activate(Kernel& kernel) {
+  if (stopped_) {
+    return;
+  }
+  tick(kernel);
+  if (!stopped_) {
+    kernel.sync(this, kernel.now() + period_);
+  }
+}
+
+Event::Event(Kernel* kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {
+  CABT_CHECK(kernel_ != nullptr, "event needs a kernel");
+}
+
+void Event::notify(Cycle at) {
+  for (Process* p : waiting_) {
+    kernel_->sync(p, at);
+  }
+  waiting_.clear();
+}
+
+Cycle Kernel::run(Cycle limit) {
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    Ev ev = queue_.top();
+    queue_.pop();
+    if (ev.at > now_) {
+      now_ = ev.at;
+    }
+    ++dispatched_;
+    if (ev.proc != nullptr) {
+      ev.proc->activate(*this);
+    } else {
+      ev.fn();
+    }
+  }
+  return now_;
+}
+
+}  // namespace cabt::sim

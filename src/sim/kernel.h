@@ -1,0 +1,179 @@
+// Discrete-event simulation kernel with temporal decoupling.
+//
+// The paper's accelerated processor model is one component inside a
+// SystemC SoC simulation (section 1, Fig. 1). This kernel plays the role
+// of the SystemC scheduler for the reproduction, in the loosely-timed
+// TLM-2.0 style that keeps binary-translation speed:
+//
+//   * one 64-bit cycle timebase (SoC cycles on the reference board, VLIW
+//     cycles on the emulation platform — the kernel is unit-agnostic);
+//   * an event queue dispatched in (time, insertion-order) order, so runs
+//     are deterministic for a fixed configuration;
+//   * processes that own *local* time and run ahead of global time by up
+//     to one quantum before yielding back via sync() — temporal
+//     decoupling. The scheduler always activates the process with the
+//     smallest wake time, so no process ever observes another more than
+//     one quantum behind it;
+//   * triggered wake-ups via Event (the sc_event analogue) and one-shot
+//     timed callbacks via schedule().
+//
+// Shared state (the SoC bus and its devices) advances *lazily* to a
+// transaction's timestamp (soc::SocBus::advanceTo), so a process slice
+// costs O(work), not O(cycles). With a single initiator the simulation is
+// exactly quantum-invariant (checked by tests/sim_test.cpp); with
+// multiple initiators the quantum bounds cross-core visibility latency —
+// the speed/accuracy knob of bench_sim_quantum, generalizing the sync-
+// rate ablation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cabt::sim {
+
+/// Kernel time, in cycles of the hosting platform's clock.
+using Cycle = uint64_t;
+inline constexpr Cycle kForever = ~static_cast<Cycle>(0);
+
+class Kernel;
+
+/// A schedulable process: anything that owns local time and runs in
+/// quantum-bounded slices (a processor core, a DMA engine, a test stub).
+class Process {
+ public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// One activation at the process's wake time. The body runs up to the
+  /// kernel's quantum, then either calls kernel.sync(this, t) to yield
+  /// until its local time t, waits on an Event, or returns without
+  /// rescheduling to finish.
+  virtual void activate(Kernel& kernel) = 0;
+
+ private:
+  std::string name_;
+};
+
+/// A fixed-period (clocked) process: tick() runs once per period until
+/// stop(). Periods are in kernel cycles.
+class ClockedProcess : public Process {
+ public:
+  ClockedProcess(std::string name, Cycle period)
+      : Process(std::move(name)), period_(period) {
+    CABT_CHECK(period_ >= 1, "clock period must be >= 1");
+  }
+
+  void activate(Kernel& kernel) final;
+  virtual void tick(Kernel& kernel) = 0;
+
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  [[nodiscard]] Cycle period() const { return period_; }
+
+ private:
+  Cycle period_;
+  bool stopped_ = false;
+};
+
+/// A triggered wake-up source (the sc_event analogue): processes park on
+/// it with wait(); notify(at) schedules every parked process at `at`.
+class Event {
+ public:
+  Event(Kernel* kernel, std::string name);
+
+  /// Parks `p` until the next notify(). A process may only wait from
+  /// inside its own activate() (after which it must not also sync()).
+  void wait(Process* p) { waiting_.push_back(p); }
+
+  /// Wakes every parked process at absolute time `at` (clamped to the
+  /// kernel's current time) and clears the wait list.
+  void notify(Cycle at);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t numWaiting() const { return waiting_.size(); }
+
+ private:
+  Kernel* kernel_;
+  std::string name_;
+  std::vector<Process*> waiting_;
+};
+
+class Kernel {
+ public:
+  /// `quantum` is the temporal-decoupling window: how far a process may
+  /// run ahead of global time before it must sync().
+  explicit Kernel(Cycle quantum = 1024) : quantum_(quantum) {
+    CABT_CHECK(quantum_ >= 1, "quantum must be >= 1");
+  }
+
+  [[nodiscard]] Cycle quantum() const { return quantum_; }
+  void setQuantum(Cycle q) {
+    CABT_CHECK(q >= 1, "quantum must be >= 1");
+    quantum_ = q;
+  }
+
+  /// Global time: the timestamp of the event being (or last) dispatched.
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  /// Registers a process and schedules its first activation at `start`.
+  void addProcess(Process* p, Cycle start = 0) {
+    CABT_CHECK(p != nullptr, "null process");
+    push(start, p, {});
+  }
+
+  /// From inside activate(): yield and resume at absolute local time
+  /// `at`. Times before now() are clamped (the process fell behind global
+  /// time, e.g. after waiting on an event).
+  void sync(Process* p, Cycle at) {
+    CABT_CHECK(p != nullptr, "null process");
+    push(at < now_ ? now_ : at, p, {});
+  }
+
+  /// One-shot timed callback (a degenerate triggered process).
+  void schedule(Cycle at, std::function<void()> fn) {
+    CABT_CHECK(fn != nullptr, "null callback");
+    push(at < now_ ? now_ : at, nullptr, std::move(fn));
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Dispatches events in (time, insertion) order until the queue is
+  /// empty or the next event lies beyond `limit`. Returns global time.
+  Cycle run(Cycle limit = kForever);
+
+  [[nodiscard]] uint64_t eventsDispatched() const { return dispatched_; }
+
+ private:
+  struct Ev {
+    Cycle at = 0;
+    uint64_t seq = 0;  ///< insertion order: deterministic tie-break
+    Process* proc = nullptr;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  void push(Cycle at, Process* proc, std::function<void()> fn) {
+    queue_.push(Ev{at, seq_++, proc, std::move(fn)});
+  }
+
+  std::priority_queue<Ev, std::vector<Ev>, Later> queue_;
+  Cycle now_ = 0;
+  Cycle quantum_;
+  uint64_t seq_ = 0;
+  uint64_t dispatched_ = 0;
+};
+
+}  // namespace cabt::sim

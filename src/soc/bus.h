@@ -51,6 +51,21 @@ class SocBus {
     }
   }
 
+  /// Advances the bus clock to SoC cycle `to` in one jump (lazy time
+  /// advancement for the event kernel: each device jumps via
+  /// Device::advanceTo instead of being clocked cycle by cycle). Times in
+  /// the past are ignored — with temporally decoupled initiators a
+  /// transaction may arrive up to one quantum behind the bus clock.
+  void advanceTo(uint64_t to) {
+    if (to <= soc_cycle_) {
+      return;
+    }
+    for (const Window& w : windows_) {
+      w.device->advanceTo(soc_cycle_, to);
+    }
+    soc_cycle_ = to;
+  }
+
   [[nodiscard]] uint64_t socCycle() const { return soc_cycle_; }
 
   uint32_t read(uint32_t addr, unsigned size) {

@@ -32,6 +32,18 @@ class Device {
   /// One SoC clock edge.
   virtual void clockCycle(uint64_t soc_cycle) { (void)soc_cycle; }
 
+  /// Advances the device from SoC cycle `from` (exclusive) to `to`
+  /// (inclusive) in one jump. The default replays clockCycle() per cycle,
+  /// which is always correct; devices whose state is a pure function of
+  /// time override this with an O(1)/O(events) computation so that the
+  /// event kernel's lazy time advancement (sim/kernel.h) costs O(work)
+  /// instead of O(cycles).
+  virtual void advanceTo(uint64_t from, uint64_t to) {
+    for (uint64_t c = from + 1; c <= to; ++c) {
+      clockCycle(c);
+    }
+  }
+
  private:
   std::string name_;
 };

@@ -6,7 +6,9 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "soc/device.h"
@@ -38,6 +40,9 @@ class TimerDevice : public Device {
 
   void clockCycle(uint64_t) override { ++count_; }
 
+  /// Free-running count is a pure function of elapsed time.
+  void advanceTo(uint64_t from, uint64_t to) override { count_ += to - from; }
+
   [[nodiscard]] uint64_t count() const { return count_; }
 
  private:
@@ -61,6 +66,8 @@ class CharDevice : public Device {
     output_.push_back(static_cast<char>(value & 0xff));
     stamps_.push_back(soc_cycle);
   }
+
+  void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
 
   [[nodiscard]] const std::string& output() const { return output_; }
   /// SoC cycle at which each character was written.
@@ -89,10 +96,90 @@ class ScratchDevice : public Device {
     regs_[offset / 4] = value;
   }
 
+  void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
+
   [[nodiscard]] uint32_t reg(size_t i) const { return regs_.at(i); }
 
  private:
   std::array<uint32_t, 16> regs_{};
+};
+
+/// Shared inter-core mailbox: a four-entry word FIFO plus a doorbell that
+/// rings an interrupt line on a chosen core's interrupt controller.
+/// Offset 0x0 (write): push a word (dropped when full — software must
+/// check STATUS first); offset 0x0 (read): pop the oldest word (0 when
+/// empty); offset 0x4 (read): STATUS, bit0 = has data, bit1 = full;
+/// offset 0x8 (write): ring doorbell `value` (see setDoorbell).
+class MailboxDevice : public Device {
+ public:
+  static constexpr size_t kDepth = 4;
+
+  MailboxDevice() : Device("mailbox") {}
+
+  uint32_t read(uint32_t offset, unsigned size, uint64_t) override {
+    CABT_CHECK(size == 4, "mailbox supports word access only");
+    switch (offset) {
+      case 0x0: {
+        if (count_ == 0) {
+          return 0;
+        }
+        const uint32_t v = fifo_[head_];
+        head_ = (head_ + 1) % kDepth;
+        --count_;
+        return v;
+      }
+      case 0x4:
+        return (count_ > 0 ? 1u : 0u) | (count_ == kDepth ? 2u : 0u);
+      default:
+        CABT_FAIL("mailbox read at bad offset " << offset);
+    }
+  }
+
+  void write(uint32_t offset, uint32_t value, unsigned size,
+             uint64_t) override {
+    CABT_CHECK(size == 4, "mailbox supports word access only");
+    switch (offset) {
+      case 0x0:
+        if (count_ < kDepth) {
+          fifo_[(head_ + count_) % kDepth] = value;
+          ++count_;
+          ++pushes_;
+        } else {
+          ++dropped_;
+        }
+        break;
+      case 0x8:
+        CABT_CHECK(value < doorbells_.size() && doorbells_[value],
+                   "mailbox doorbell " << value << " is not connected");
+        doorbells_[value]();
+        break;
+      default:
+        CABT_FAIL("mailbox write at bad offset " << offset);
+    }
+  }
+
+  void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
+
+  /// Connects doorbell index `bell` (the value software writes to offset
+  /// 0x8) to `ring` — typically InterruptController::raise of a core.
+  void setDoorbell(size_t bell, std::function<void()> ring) {
+    if (doorbells_.size() <= bell) {
+      doorbells_.resize(bell + 1);
+    }
+    doorbells_[bell] = std::move(ring);
+  }
+
+  [[nodiscard]] size_t depth() const { return count_; }
+  [[nodiscard]] uint64_t pushes() const { return pushes_; }
+  [[nodiscard]] uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::array<uint32_t, kDepth> fifo_{};
+  size_t head_ = 0;
+  size_t count_ = 0;
+  uint64_t pushes_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<std::function<void()>> doorbells_;
 };
 
 /// Byte offsets of the standard peripherals within the I/O region; shared
@@ -105,6 +192,13 @@ struct StandardIoMap {
   static constexpr uint32_t kCharSize = 0x10;
   static constexpr uint32_t kScratchOffset = 0x300;
   static constexpr uint32_t kScratchSize = 0x40;
+  /// Per-core interrupt controllers: core i at kIntcOffset + i*kIntcStride.
+  static constexpr uint32_t kIntcOffset = 0x400;
+  static constexpr uint32_t kIntcStride = 0x20;
+  static constexpr uint32_t kPTimerOffset = 0x500;
+  static constexpr uint32_t kPTimerSize = 0x10;
+  static constexpr uint32_t kMailboxOffset = 0x600;
+  static constexpr uint32_t kMailboxSize = 0x10;
 };
 
 }  // namespace cabt::soc

@@ -326,25 +326,155 @@ result: .word 0
 x:      .space 1312
 )";
 
+// ---- SoC-scenario programs (beyond the paper's figure set) ---------------
+//
+// These target the reference board's interrupt path (interrupt controller
+// at I/O offset 0x400, programmable timer at 0x500, shared mailbox at
+// 0x600 — soc::StandardIoMap). Convention: A14 is the interrupt link
+// register and the ISR owns d12..d15; interrupts are sampled at basic-
+// block boundaries (see DESIGN.md).
+
+// Interrupt-driven tick counter: the programmable timer raises line 0
+// every 400 SoC cycles; the ISR counts ticks in d14; main spins until 8
+// ticks arrived, then disarms everything. Checksum: 8*8 + 100 = 164,
+// independent of detail level, quantum and execution engine.
+const char* kIrqTicks = R"(
+; irq_ticks - timer-interrupt tick counter (interrupt-driven scenario)
+_start: movha a6, 0xf000      ; I/O region
+        movi d14, 0           ; tick count, ISR-owned
+        movi d8, 8
+        movh d0, hi(isr)
+        addi d0, d0, lo(isr)
+        stw d0, [a6]0x410     ; intc VECTOR = isr
+        movi d0, 1
+        stw d0, [a6]0x404     ; intc ENABLE line 0 (timer)
+        stw d0, [a6]0x414     ; intc CTRL master enable
+        movi d0, 400
+        stw d0, [a6]0x500     ; ptimer LOAD = 400 cycles
+        movi d0, 3
+        stw d0, [a6]0x504     ; ptimer CTRL = enable | periodic
+wait:   lt d1, d14, d8
+        jnz16 d1, wait        ; spin until the ISR counted 8 ticks
+        movi d0, 0
+        stw d0, [a6]0x504     ; stop the timer
+        stw d0, [a6]0x414     ; master disable
+        mul d9, d14, d14
+        addi d9, d9, 100      ; checksum = 8*8 + 100
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+isr:    addi16 d14, 1
+        movi d15, 1
+        stw d15, [a6]0x40c    ; ACK line 0 (write-1-to-clear)
+        stw d15, [a6]0x41c    ; EOI (clear in-service)
+        ji a14                ; return from interrupt
+        .data
+result: .word 0
+)";
+
+// Multi-core producer (core 0): each timer interrupt produces one value
+// n*n + 3 into the shared mailbox (spinning on FULL inside the ISR);
+// main waits for 16 productions. Checksum: sum n=1..16 of n^2+3 = 1544.
+const char* kMcProducer = R"(
+; mc_producer - timer-interrupt mailbox producer (multi-core scenario)
+_start: movha a6, 0xf000
+        movi d14, 0           ; produced count, ISR-owned
+        movi d9, 0            ; running sum, ISR-owned
+        movi d8, 16
+        movh d0, hi(isr)
+        addi d0, d0, lo(isr)
+        stw d0, [a6]0x410     ; intc VECTOR = isr
+        movi d0, 1
+        stw d0, [a6]0x404     ; intc ENABLE line 0 (timer)
+        stw d0, [a6]0x414     ; intc CTRL master enable
+        movi d0, 300
+        stw d0, [a6]0x500     ; ptimer LOAD = 300 cycles
+        movi d0, 3
+        stw d0, [a6]0x504     ; ptimer CTRL = enable | periodic
+pwait:  lt d1, d14, d8
+        jnz16 d1, pwait       ; spin until 16 values produced
+        movi d0, 0
+        stw d0, [a6]0x504     ; stop the timer
+        stw d0, [a6]0x414     ; master disable
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0         ; checksum 1544
+        halt
+isr:    addi16 d14, 1
+        mul d15, d14, d14
+        addi d15, d15, 3      ; value = n*n + 3
+ifull:  ldw d13, [a6]0x604    ; mailbox STATUS
+        movi d12, 2
+        and d13, d13, d12
+        jnz16 d13, ifull      ; spin while the FIFO is full
+        stw d15, [a6]0x600    ; push
+        add d9, d9, d15
+        movi d13, 1
+        stw d13, [a6]0x40c    ; ACK line 0
+        stw d13, [a6]0x41c    ; EOI
+        ji a14
+        .data
+result: .word 0
+)";
+
+// Multi-core consumer (core 1): polls the shared mailbox and sums 16
+// values. Checksum 1544 — identical to the producer's, whatever the
+// interleaving or quantum.
+const char* kMcConsumer = R"(
+; mc_consumer - polling mailbox consumer (multi-core scenario)
+_start: movha a6, 0xf000
+        movi d9, 0
+        movi d8, 16
+cwait:  ldw d3, [a6]0x604     ; mailbox STATUS
+        movi d4, 1
+        and d3, d3, d4
+        jz16 d3, cwait        ; spin while empty
+        ldw d5, [a6]0x600     ; pop
+        add d9, d9, d5
+        addi16 d8, -1
+        jnz16 d8, cwait
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0         ; checksum 1544
+        halt
+        .data
+result: .word 0
+)";
+
+std::vector<Workload> buildScenarios() {
+  std::vector<Workload> w;
+  w.push_back({"irq_ticks",
+               "timer-interrupt tick counter (interrupt-driven)", kIrqTicks,
+               164u, false, "isr"});
+  w.push_back({"mc_producer",
+               "timer-interrupt mailbox producer (multi-core, core 0)",
+               kMcProducer, 1544u, false, "isr"});
+  w.push_back({"mc_consumer",
+               "polling mailbox consumer (multi-core, core 1)", kMcConsumer,
+               1544u, false, ""});
+  return w;
+}
+
 std::vector<Workload> buildAll() {
   std::vector<Workload> w;
   w.push_back({"gcd", "subtraction Euclid over a pair table (control flow)",
-               kGcd, 214u, false});
+               kGcd, 214u, false, ""});
   w.push_back({"dpcm",
                "DPCM encoder with clamping branches (audio coding)", kDpcm,
-               std::nullopt, false});
+               std::nullopt, false, ""});
   w.push_back({"fir", "16-tap FIR filter (filter kernel)", kFir,
-               std::nullopt, false});
+               std::nullopt, false, ""});
   w.push_back({"ellip",
                "cascaded filter sections, one large block per sample",
-               kEllip, std::nullopt, true});
+               kEllip, std::nullopt, true, ""});
   w.push_back({"sieve", "sieve of Eratosthenes, N=700 (control flow)",
-               kSieve, 125u, false});
+               kSieve, 125u, false, ""});
   w.push_back({"subband",
                "two-band analysis filter, 8 taps unrolled (large blocks)",
-               kSubband, std::nullopt, true});
+               kSubband, std::nullopt, true, ""});
   w.push_back({"fibonacci", "iterative Fibonacci (Table 2)", kFibonacci,
-               std::nullopt, false});
+               std::nullopt, false, ""});
   return w;
 }
 
@@ -356,8 +486,19 @@ const std::vector<Workload>& all() {
   return *workloads;
 }
 
+const std::vector<Workload>& scenarios() {
+  static const std::vector<Workload>* workloads =
+      new std::vector<Workload>(buildScenarios());
+  return *workloads;
+}
+
 const Workload& get(std::string_view name) {
   for (const Workload& w : all()) {
+    if (w.name == name) {
+      return w;
+    }
+  }
+  for (const Workload& w : scenarios()) {
     if (w.name == name) {
       return w;
     }

@@ -28,13 +28,26 @@ struct Workload {
   /// Hand-computed expected checksum, when independently known.
   std::optional<uint32_t> expected_checksum;
   bool large_blocks = false;  ///< paper: "examples with large basic blocks"
+  /// Interrupt handler entry symbol ("" when the program takes no
+  /// interrupts). Resolve with platform::symbolAddr and pass as an
+  /// iss::IssConfig::extra_leaders entry — handler entries are invisible
+  /// to static control flow.
+  std::string irq_handler;
 };
 
 /// All workloads, in the paper's presentation order (gcd, dpcm, fir,
 /// ellip, sieve, subband, fibonacci).
 const std::vector<Workload>& all();
 
-/// Lookup by name; throws cabt::Error when unknown.
+/// SoC-scenario programs beyond the paper's figure set: interrupt-driven
+/// and multi-core workloads for the reference board's interrupt
+/// controller / programmable timer / mailbox (irq_ticks, mc_producer,
+/// mc_consumer). They require the board's interrupt path and are not run
+/// through the translator comparisons.
+const std::vector<Workload>& scenarios();
+
+/// Lookup by name across all() and scenarios(); throws cabt::Error when
+/// unknown.
 const Workload& get(std::string_view name);
 
 /// The six programs of Figure 5 / Table 1 / Figure 6.

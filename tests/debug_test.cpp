@@ -190,5 +190,96 @@ TEST(Debugger, WorksOnWorkload) {
   EXPECT_EQ(dbg.d(9), 214u);  // gcd checksum
 }
 
+// ---- ISS debug breakpoints vs the block-dispatch engine ------------------
+
+// A nested loop whose inner block gets hot in the predecoded block cache
+// before a breakpoint is planted mid-way inside it.
+const char* kNestedLoops = R"(
+_start: movi d5, 10          ; 0x80000000  outer counter
+        movi d1, 0           ; 0x80000004
+outer:  movi d0, 20          ; 0x80000008  inner counter
+inner:  add d1, d1, d0       ; 0x8000000c  <- hot block leader
+        xor d2, d1, d5       ; 0x80000010  <- mid-block breakpoint site
+        addi16 d0, -1        ; 0x80000014
+        jnz16 d0, inner      ; 0x80000016
+        addi16 d5, -1        ; 0x80000018  <- staging breakpoint (leader)
+        jnz16 d5, outer      ; 0x8000001a
+        movi d3, 99          ; 0x8000001c
+        halt
+)";
+
+TEST(IssBreakpoints, MidBlockBreakpointInHotCachedBlockFallsBack) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss iss(defaultArch(), obj);
+
+  // Phase 1: run the first outer iteration at full block-dispatch speed,
+  // stopping at the (block-leader) staging breakpoint. The inner block
+  // is now hot in the cache: dispatched 20 times.
+  iss.addBreakpoint(0x80000018);
+  ASSERT_EQ(iss.run(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(iss.pc(), 0x80000018u);
+  const auto hot = iss.hotBlocks(1);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].addr, 0x8000000cu);
+  EXPECT_EQ(hot[0].exec_count, 20u);
+
+  // Phase 2: plant a breakpoint mid-way inside that already-hot block.
+  // The dispatcher must refuse the cached block and stop exactly on the
+  // breakpoint, not at the block end.
+  iss.removeBreakpoint(0x80000018);
+  iss.addBreakpoint(0x80000010);
+  ASSERT_EQ(iss.run(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(iss.pc(), 0x80000010u);
+  // The leader instruction of the re-entered block has executed, the
+  // breakpointed one has not: 2 prologue + (1 + 20*4) first outer
+  // iteration + 2 outer-loop tail + 1 inner re-entry leader + the
+  // re-entered add = 87.
+  EXPECT_EQ(iss.stats().instructions, 87u);
+
+  // Every further resume stops at the next crossing, once per iteration.
+  ASSERT_EQ(iss.run(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(iss.pc(), 0x80000010u);
+
+  // Phase 3: remove it; the rest of the program runs to completion with
+  // a final state identical to an unbroken reference run — breakpoints
+  // perturb neither architectural state nor the cycle model.
+  iss.removeBreakpoint(0x80000010);
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+
+  iss::Iss ref(defaultArch(), obj);
+  ASSERT_EQ(ref.run(), iss::StopReason::kHalted);
+  EXPECT_EQ(iss.stats().instructions, ref.stats().instructions);
+  EXPECT_EQ(iss.stats().cycles, ref.stats().cycles);
+  EXPECT_EQ(iss.stats().branch_extra, ref.stats().branch_extra);
+  EXPECT_EQ(iss.stats().cache_penalty, ref.stats().cache_penalty);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(iss.d(i), ref.d(i)) << "d" << i;
+  }
+  EXPECT_EQ(iss.d(3), 99u);
+}
+
+TEST(IssBreakpoints, BlockAndSteppingEnginesStopIdentically) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::IssConfig step_cfg;
+  step_cfg.use_block_cache = false;
+  iss::Iss fast(defaultArch(), obj);
+  iss::Iss slow(defaultArch(), obj, nullptr, step_cfg);
+  for (iss::Iss* v : {&fast, &slow}) {
+    v->addBreakpoint(0x80000010);
+  }
+  // Both engines stop at the same pc with the same state at every one of
+  // the 200 crossings.
+  for (int hit = 0; hit < 200; ++hit) {
+    ASSERT_EQ(fast.run(), iss::StopReason::kDebugBreak) << hit;
+    ASSERT_EQ(slow.run(), iss::StopReason::kDebugBreak) << hit;
+    ASSERT_EQ(fast.pc(), slow.pc()) << hit;
+    ASSERT_EQ(fast.stats().instructions, slow.stats().instructions) << hit;
+    ASSERT_EQ(fast.stats().cycles, slow.stats().cycles) << hit;
+  }
+  ASSERT_EQ(fast.run(), iss::StopReason::kHalted);
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  EXPECT_EQ(fast.stats().cycles, slow.stats().cycles);
+}
+
 }  // namespace
 }  // namespace cabt::debug
