@@ -1,0 +1,152 @@
+// Dispatch-engine ablation: host throughput of the three block-dispatch
+// strategies of the reference ISS —
+//   * lookup   — address hash lookup + ordered-set leader probes per
+//                block (the pre-chaining engine, DispatchMode::kLookup),
+//   * chained  — precomputed successor edges + O(1) leader bitmap +
+//                template-specialized inner loop, and
+//   * traces   — chained plus hot-path superblock formation —
+// per ISS detail level, on the Table-2-class workloads. All three
+// variants are asserted cycle-identical before any row is reported; the
+// BENCH_ablation_dispatch.json record (one row per variant, with the
+// chain-hit / trace-dispatch / guard-bail counters) is what the
+// bench-report CI gate checks: chained must never be slower than lookup.
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace cabt::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  iss::DispatchMode mode;
+};
+
+const Variant kVariants[] = {
+    {"lookup", iss::DispatchMode::kLookup},
+    {"chained", iss::DispatchMode::kChained},
+    {"chained+traces", iss::DispatchMode::kChainedTraces},
+};
+
+std::vector<std::string> workloadNames() {
+  // The Table-2/Figure-5 programs big enough to time reliably (gcd
+  // retires in ~700 cycles — pure measurement noise).
+  return {"fibonacci", "sieve", "dpcm", "fir"};
+}
+
+struct DispatchRun {
+  uint64_t instructions = 0;
+  uint64_t cycles = 0;
+  double host_seconds = 0;
+  iss::IssStats stats;
+  [[nodiscard]] double hostMips() const {
+    return static_cast<double>(instructions) / host_seconds / 1e6;
+  }
+};
+
+DispatchRun runDispatch(const elf::Object& obj, xlat::DetailLevel level,
+                        iss::DispatchMode mode, int repeats) {
+  const arch::ArchDescription desc = defaultArch();
+  iss::IssConfig cfg = platform::issConfigFor(level);
+  cfg.dispatch_mode = mode;
+  DispatchRun result;
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    iss::Iss iss(desc, obj, nullptr, cfg);
+    // Predecode is a one-time per-program cost; trace formation is not
+    // excluded — it is part of the steady-state engine being measured.
+    iss.prebuildBlockCache();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (iss.run() != iss::StopReason::kHalted) {
+      throw Error("ISS run did not halt");
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    result.instructions = iss.stats().instructions;
+    result.cycles = iss.stats().cycles;
+    result.stats = iss.stats();
+  }
+  result.host_seconds = best;
+  return result;
+}
+
+void printComparison() {
+  printHeader("Block-dispatch ablation [host MIPS]",
+              "the section-2 interpretation-overhead argument, grown to "
+              "chained/trace dispatch");
+  JsonReport report("ablation_dispatch");
+  std::printf("%-10s %-14s %9s %9s %9s %8s %8s %10s\n", "workload",
+              "detail", "lookup", "chained", "traces", "chain x",
+              "trace x", "bails");
+  for (const std::string& name : workloadNames()) {
+    const elf::Object obj = workloads::assemble(workloads::get(name));
+    for (const xlat::DetailLevel level : allLevels()) {
+      DispatchRun runs[3];
+      for (size_t v = 0; v < 3; ++v) {
+        // Whole programs retire in micro- to milliseconds: a generous
+        // best-of keeps the row stable against scheduling noise.
+        runs[v] = runDispatch(obj, level, kVariants[v].mode, 15);
+        if (runs[v].instructions != runs[0].instructions ||
+            runs[v].cycles != runs[0].cycles) {
+          throw Error(std::string("dispatch variants diverged on ") + name);
+        }
+        report.add(name,
+                   std::string(xlat::detailLevelName(level)) + "/" +
+                       kVariants[v].name,
+                   runs[v].cycles, runs[v].hostMips(), &runs[v].stats);
+      }
+      std::printf("%-10s %-14s %9.2f %9.2f %9.2f %7.2fx %7.2fx %10llu\n",
+                  name.c_str(), xlat::detailLevelName(level),
+                  runs[0].hostMips(), runs[1].hostMips(),
+                  runs[2].hostMips(),
+                  runs[0].host_seconds / runs[1].host_seconds,
+                  runs[0].host_seconds / runs[2].host_seconds,
+                  static_cast<unsigned long long>(
+                      runs[2].stats.guard_bails));
+    }
+  }
+  report.write();
+}
+
+void registerBenchmarks() {
+  for (const std::string& name : workloadNames()) {
+    for (const xlat::DetailLevel level :
+         {xlat::DetailLevel::kStatic, xlat::DetailLevel::kICache}) {
+      for (const Variant& variant : kVariants) {
+        const std::string bench_name =
+            std::string("ablation_dispatch/") + name + "/" +
+            xlat::detailLevelName(level) + "/" + variant.name;
+        const iss::DispatchMode mode = variant.mode;
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [name, level, mode](benchmark::State& state) {
+              const elf::Object obj =
+                  workloads::assemble(workloads::get(name));
+              uint64_t instructions = 0;
+              for (auto _ : state) {
+                const DispatchRun r = runDispatch(obj, level, mode, 1);
+                instructions = r.instructions;
+                benchmark::DoNotOptimize(instructions);
+              }
+              state.counters["instructions"] =
+                  static_cast<double>(instructions);
+              state.counters["mips_host"] = benchmark::Counter(
+                  static_cast<double>(instructions) * 1e-6,
+                  benchmark::Counter::kIsIterationInvariantRate);
+            })
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cabt::bench
+
+int main(int argc, char** argv) {
+  cabt::bench::printComparison();
+  benchmark::Initialize(&argc, argv);
+  cabt::bench::registerBenchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -33,6 +33,9 @@ struct BoardRun {
   uint64_t blocks = 0;
   uint64_t cached_blocks = 0;  ///< blocks served by the predecoded cache
   double host_seconds = 0;     ///< wall-clock time of the ISS run
+  /// Full ISS counters (dispatch-path statistics included) for the
+  /// BENCH_<name>.json records.
+  iss::IssStats stats;
   [[nodiscard]] double seconds() const {
     return static_cast<double>(cycles) / kBoardHz;
   }
@@ -82,9 +85,20 @@ class JsonReport {
   explicit JsonReport(std::string bench_name)
       : bench_name_(std::move(bench_name)) {}
 
+  /// `iss` (optional) attaches the dispatch-path counters to the row,
+  /// so the perf trajectory records *why* ISS speed changed (chained vs
+  /// looked-up vs trace dispatches), not just the MIPS.
   void add(const std::string& workload, const std::string& variant,
-           uint64_t cycles, double host_mips) {
-    rows_.push_back({workload, variant, cycles, host_mips});
+           uint64_t cycles, double host_mips,
+           const iss::IssStats* iss = nullptr) {
+    Row row{workload, variant, cycles, host_mips, false, 0, 0, 0};
+    if (iss != nullptr) {
+      row.have_dispatch = true;
+      row.chain_hits = iss->chain_hits;
+      row.trace_dispatches = iss->trace_dispatches;
+      row.guard_bails = iss->guard_bails;
+    }
+    rows_.push_back(row);
   }
 
   /// Writes BENCH_<name>.json; failures are reported but non-fatal (a
@@ -103,8 +117,13 @@ class JsonReport {
       std::snprintf(mips, sizeof(mips), "%.3f", r.host_mips);
       out << "    {\"workload\": \"" << r.workload << "\", \"variant\": \""
           << r.variant << "\", \"cycles\": " << r.cycles
-          << ", \"host_mips\": " << mips << "}"
-          << (i + 1 < rows_.size() ? "," : "") << "\n";
+          << ", \"host_mips\": " << mips;
+      if (r.have_dispatch) {
+        out << ", \"chain_hits\": " << r.chain_hits
+            << ", \"trace_dispatches\": " << r.trace_dispatches
+            << ", \"guard_bails\": " << r.guard_bails;
+      }
+      out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
   }
@@ -115,6 +134,10 @@ class JsonReport {
     std::string variant;
     uint64_t cycles = 0;
     double host_mips = 0;
+    bool have_dispatch = false;
+    uint64_t chain_hits = 0;
+    uint64_t trace_dispatches = 0;
+    uint64_t guard_bails = 0;
   };
   std::string bench_name_;
   std::vector<Row> rows_;
@@ -134,7 +157,7 @@ inline BoardRun runBoard(const arch::ArchDescription& desc,
   const auto t1 = std::chrono::steady_clock::now();
   return {ref.stats().instructions, ref.stats().cycles,
           ref.stats().blocks, ref.stats().cached_blocks,
-          std::chrono::duration<double>(t1 - t0).count()};
+          std::chrono::duration<double>(t1 - t0).count(), ref.stats()};
 }
 
 inline VariantRun runVariant(const arch::ArchDescription& desc,

@@ -126,7 +126,8 @@ int main(int argc, char** argv) {
   {
     cabt::bench::JsonReport report("fig5_speed");
     for (const auto& r : rows) {
-      report.add(r.workload, "board", r.board.cycles, r.board.hostMips());
+      report.add(r.workload, "board", r.board.cycles, r.board.hostMips(),
+                 &r.board.stats);
       for (size_t v = 0; v < r.variants.size(); ++v) {
         report.add(r.workload,
                    cabt::xlat::detailLevelName(cabt::bench::allLevels()[v]),

@@ -32,6 +32,7 @@ struct EngineRun {
   uint64_t instructions = 0;
   uint64_t cycles = 0;
   double host_seconds = 0;
+  iss::IssStats stats;
   [[nodiscard]] double hostMips() const {
     return static_cast<double>(instructions) / host_seconds / 1e6;
   }
@@ -61,6 +62,7 @@ EngineRun runIss(const elf::Object& obj, const IssMode& mode,
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
     result.instructions = iss.stats().instructions;
     result.cycles = iss.stats().cycles;
+    result.stats = iss.stats();
   }
   result.host_seconds = best;
   return result;
@@ -85,9 +87,9 @@ void printComparison() {
                   mode.name, slow.hostMips(), fast.hostMips(),
                   slow.host_seconds / fast.host_seconds);
       report.add(name, std::string(mode.name) + "/step", slow.cycles,
-                 slow.hostMips());
+                 slow.hostMips(), &slow.stats);
       report.add(name, std::string(mode.name) + "/block", fast.cycles,
-                 fast.hostMips());
+                 fast.hostMips(), &fast.stats);
     }
   }
   report.write();

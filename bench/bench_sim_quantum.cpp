@@ -19,6 +19,7 @@ struct QuantumRun {
   uint64_t instructions = 0;  ///< both cores
   uint64_t kernel_events = 0;
   double host_seconds = 0;
+  iss::IssStats core0_stats;
   [[nodiscard]] double hostMips() const {
     return static_cast<double>(instructions) / host_seconds / 1e6;
   }
@@ -54,6 +55,7 @@ QuantumRun runMulticore(xlat::DetailLevel level, sim::Cycle quantum,
     result.instructions = board.core(0).stats().instructions +
                           board.core(1).stats().instructions;
     result.kernel_events = board.kernel().eventsDispatched();
+    result.core0_stats = board.core(0).stats();
   }
   result.host_seconds = best;
   return result;
@@ -88,7 +90,8 @@ int main(int argc, char** argv) {
       report.add(std::string("mc_producer+mc_consumer/") +
                      cabt::xlat::detailLevelName(level),
                  "quantum_" + std::to_string(quantum),
-                 run.core0_cycles + run.core1_cycles, run.hostMips());
+                 run.core0_cycles + run.core1_cycles, run.hostMips(),
+                 &run.core0_stats);
     }
   }
   report.write();

@@ -22,8 +22,10 @@ struct Row {
   std::string workload;
   uint64_t instructions = 0;
   double rtl_host_seconds = 0;
+  double board_host_seconds = 0;
   double fpga_seconds = 0;
   double xlat_seconds[3] = {0, 0, 0};  // cycle info / branch pred / cache
+  iss::IssStats board_stats;
 };
 
 Row collectRow(const std::string& name) {
@@ -33,6 +35,8 @@ Row collectRow(const std::string& name) {
   row.workload = name;
   const BoardRun board = runBoard(desc, obj);
   row.instructions = board.instructions;
+  row.board_host_seconds = board.host_seconds;
+  row.board_stats = board.stats;
   row.fpga_seconds = static_cast<double>(board.cycles) / kFpgaHz;
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -104,6 +108,10 @@ int main(int argc, char** argv) {
     for (const Row& r : rows) {
       const double rtl_mips = static_cast<double>(r.instructions) /
                               r.rtl_host_seconds / 1e6;
+      const double board_mips = static_cast<double>(r.instructions) /
+                                r.board_host_seconds / 1e6;
+      report.add(r.workload, "board-host", r.board_stats.cycles, board_mips,
+                 &r.board_stats);
       report.add(r.workload, "rtlsim-host", r.instructions, rtl_mips);
       report.add(r.workload, "fpga-modeled",
                  static_cast<uint64_t>(r.fpga_seconds * kFpgaHz), 0.0);

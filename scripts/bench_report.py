@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json perf records into one markdown summary.
+
+Every bench binary writes a BENCH_<name>.json next to its working
+directory (one row per workload/variant, with host MIPS and — for ISS
+rows — the dispatch-path counters). This script collects them into a
+single BENCH_SUMMARY.md artifact and gates the dispatch ablation:
+chained dispatch must not be slower than per-block lookup dispatch.
+
+Usage:
+    scripts/bench_report.py [--dir DIR] [--out BENCH_SUMMARY.md]
+                            [--min-ratio 0.9]
+
+Exit status 1 when the gate fails (or the ablation record is missing
+while --require-ablation is set). The default --min-ratio of 0.9 gives
+shared CI runners 10% of scheduling noise; a real chaining regression
+shows up far below that (chained runs >1.5x lookup on a quiet machine).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_records(directory):
+    records = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {path}: {e}", file=sys.stderr)
+            continue
+        records[data.get("bench", os.path.basename(path))] = data.get(
+            "rows", []
+        )
+    return records
+
+
+def render_summary(records):
+    lines = ["# Bench summary", ""]
+    for bench, rows in records.items():
+        lines.append(f"## {bench}")
+        lines.append("")
+        have_dispatch = any("chain_hits" in r for r in rows)
+        header = "| workload | variant | cycles | host MIPS |"
+        rule = "| --- | --- | ---: | ---: |"
+        if have_dispatch:
+            header += " chain hits | trace dispatches | guard bails |"
+            rule += " ---: | ---: | ---: |"
+        lines.append(header)
+        lines.append(rule)
+        for r in rows:
+            row = (
+                f"| {r.get('workload', '?')} | {r.get('variant', '?')} "
+                f"| {r.get('cycles', 0)} | {r.get('host_mips', 0):.2f} |"
+            )
+            if have_dispatch:
+                if "chain_hits" in r:
+                    row += (
+                        f" {r['chain_hits']} | {r['trace_dispatches']} "
+                        f"| {r['guard_bails']} |"
+                    )
+                else:
+                    row += " – | – | – |"
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def check_dispatch_gate(records, min_ratio):
+    """chained must reach min_ratio x the lookup host MIPS per row.
+
+    Returns (compared_pairs, failures), or None when there is no
+    ablation record at all. compared_pairs == 0 means the record exists
+    but held no lookup/chained pairs — the caller must treat that as a
+    gate failure, not a pass (it would otherwise go vacuously green if
+    the bench's variant naming ever drifted).
+    """
+    rows = records.get("ablation_dispatch")
+    if rows is None:
+        return None  # caller decides whether a missing record is fatal
+    by_key = {}
+    for r in rows:
+        variant = r.get("variant", "")
+        if "/" not in variant:
+            continue
+        level, mode = variant.rsplit("/", 1)
+        by_key[(r.get("workload"), level, mode)] = r.get("host_mips", 0.0)
+    compared = 0
+    failures = []
+    for (workload, level, mode), lookup_mips in sorted(by_key.items()):
+        if mode != "lookup":
+            continue
+        # Gate both the chained engine and the shipped default
+        # (chained+traces) against the lookup baseline.
+        for other in ("chained", "chained+traces"):
+            other_mips = by_key.get((workload, level, other))
+            if other_mips is None or lookup_mips <= 0:
+                continue
+            compared += 1
+            ratio = other_mips / lookup_mips
+            if ratio < min_ratio:
+                failures.append(
+                    f"{workload}/{level}: {other} {other_mips:.2f} MIPS "
+                    f"vs lookup {lookup_mips:.2f} MIPS (ratio "
+                    f"{ratio:.2f} < {min_ratio:.2f})"
+                )
+    return compared, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="where BENCH_*.json live")
+    parser.add_argument("--out", default="BENCH_SUMMARY.md")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.9,
+        help="minimum chained/lookup host-MIPS ratio (noise tolerance)",
+    )
+    parser.add_argument(
+        "--require-ablation",
+        action="store_true",
+        help="fail when BENCH_ablation_dispatch.json is absent",
+    )
+    args = parser.parse_args()
+
+    records = load_records(args.dir)
+    if not records:
+        print("error: no BENCH_*.json records found", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as f:
+        f.write(render_summary(records))
+    print(f"wrote {args.out} ({len(records)} bench records)")
+
+    gate = check_dispatch_gate(records, args.min_ratio)
+    if gate is None:
+        if args.require_ablation:
+            print(
+                "error: BENCH_ablation_dispatch.json missing",
+                file=sys.stderr,
+            )
+            return 1
+        print("note: no dispatch-ablation record; gate skipped")
+        return 0
+    compared, failures = gate
+    if compared == 0:
+        print(
+            "error: dispatch-ablation record held no lookup/chained "
+            "pairs — variant naming drifted?",
+            file=sys.stderr,
+        )
+        return 1
+    if failures:
+        print("dispatch gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(
+        f"dispatch gate passed: chained >= lookup on {compared} "
+        "workload/level rows"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

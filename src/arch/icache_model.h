@@ -30,9 +30,34 @@ class ICacheState {
   /// Performs one line access for the line containing `addr`. Returns true
   /// on a hit; updates tags, valid bits and LRU state.
   bool access(uint32_t addr) {
-    const uint32_t set = model_.setOf(addr);
-    const uint32_t want = tagWord(model_.tagOf(addr));
+    return accessTagged(model_.setOf(addr), tagWord(model_.tagOf(addr)));
+  }
+
+  /// access() with the set index and combined tag+valid word already
+  /// computed. The ISS block cache precomputes both per static line
+  /// group, so the dispatch hot path skips the address arithmetic.
+  bool accessTagged(uint32_t set, uint32_t want) {
     uint32_t* ways = &tags_[static_cast<size_t>(set) * model_.ways];
+    if (model_.ways == 2) {
+      // Two-way fast path (the default geometry, and the ISS dispatch
+      // hot path): the packed age list degenerates to "LRU way, MRU way",
+      // so the touch is a single store instead of a rebuild loop.
+      if (ways[0] == want) {
+        lru_[set] = 1u;  // way 1 LRU, way 0 MRU
+        ++hits_;
+        return true;
+      }
+      if (ways[1] == want) {
+        lru_[set] = 1u << 8;  // way 0 LRU, way 1 MRU
+        ++hits_;
+        return true;
+      }
+      const uint32_t victim = lru_[set] & 0xffu;
+      ways[victim] = want;
+      lru_[set] = (victim ^ 1u) | (victim << 8);
+      ++misses_;
+      return false;
+    }
     for (uint32_t w = 0; w < model_.ways; ++w) {
       if (ways[w] == want) {
         touch(set, w);

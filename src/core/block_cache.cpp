@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/icache_model.h"
 #include "arch/timing.h"
 
 namespace cabt::core {
@@ -25,6 +26,8 @@ BlockCache::BlockCache(const arch::ArchDescription& desc,
 
     if (desc.icache.enabled) {
       eb.new_line.reserve(eb.instrs.size());
+      eb.line_set.reserve(eb.instrs.size());
+      eb.line_tag.reserve(eb.instrs.size());
       bool have_line = false;
       uint32_t last_line = 0;
       for (const trc::Instr& in : eb.instrs) {
@@ -33,6 +36,9 @@ BlockCache::BlockCache(const arch::ArchDescription& desc,
         have_line = true;
         last_line = line;
         eb.new_line.push_back(starts_group ? 1 : 0);
+        eb.line_set.push_back(desc.icache.setOf(in.addr));
+        eb.line_tag.push_back(
+            arch::ICacheState::tagWord(desc.icache.tagOf(in.addr)));
       }
     }
 

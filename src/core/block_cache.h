@@ -29,6 +29,16 @@
 
 namespace cabt::core {
 
+/// ExecBlock::trace value while no trace exists; formTrace() returns
+/// kTraceDeclined when it refuses to splice (cold or ambiguous
+/// successors, indirect terminator, breakpoints). A decline is not
+/// permanent: the dispatcher re-attempts with geometric backoff
+/// (ExecBlock::trace_retry_at), since the refusal may have been
+/// transient — a breakpoint later removed, or branch statistics that
+/// only skew once the program leaves its warm-up phase.
+constexpr int32_t kTraceUnformed = -1;
+constexpr int32_t kTraceDeclined = -2;
+
 /// One executable cached block.
 struct ExecBlock {
   uint32_t addr = 0;
@@ -40,11 +50,77 @@ struct ExecBlock {
   /// 1 when instruction i is the first of a new cache-line group within
   /// the block (always set for instruction 0). Empty without an icache.
   std::vector<uint8_t> new_line;
+  /// Precomputed icache set index and combined tag+valid word per
+  /// instruction (meaningful where new_line[i] != 0, so dispatch skips
+  /// the per-access address arithmetic). Empty without an icache.
+  std::vector<uint32_t> line_set;
+  std::vector<uint32_t> line_tag;
   /// Successor indices into BlockCache::blocks() (-1 = none / dynamic).
   int32_t target = -1;
   int32_t fall_through = -1;
+  /// Index into BlockCache::traces() of the superblock headed by this
+  /// block, or kTraceUnformed.
+  int32_t trace = kTraceUnformed;
+  /// exec_count at which a declined trace formation is re-attempted
+  /// (doubled on every refusal, so retries stay O(log) per block).
+  uint64_t trace_retry_at = 0;
+  /// 1 when the block contains a debug breakpoint. Maintained by the ISS
+  /// on addBreakpoint/removeBreakpoint so dispatch tests one byte
+  /// instead of probing the breakpoint set per block.
+  uint8_t has_breakpoint = 0;
   /// Hot-count statistic: number of times the block was dispatched.
   uint64_t exec_count = 0;
+  /// Observed successor outcomes under chained dispatch: retired with
+  /// control continuing at `target` / at `fall_through`. Trace formation
+  /// picks the dominant edge from these.
+  uint64_t taken_count = 0;
+  uint64_t ft_count = 0;
+  /// Statistics: dispatches that arrived through a chained successor
+  /// edge, and retirements inside a superblock trace.
+  uint64_t chain_entries = 0;
+  uint64_t trace_execs = 0;
+};
+
+/// One constituent block of a Trace: a [first, first+count) slice of the
+/// trace's flattened arrays. `entry_addr` doubles as the guard of the
+/// *preceding* segment: execution stays on the trace only while the pc
+/// observed at the original block boundary equals the next segment's
+/// entry address.
+struct TraceSegment {
+  int32_t block = -1;      ///< index into BlockCache::blocks()
+  uint32_t first = 0;
+  uint32_t count = 0;
+  uint32_t entry_addr = 0;
+};
+
+/// A superblock: a hot chain of blocks spliced into one contiguous
+/// dispatch unit. The flattened arrays are the constituents' predecoded
+/// data concatenated in chain order; `cum_cycles` restarts at every
+/// segment (the pipeline drains at the original block boundaries) and
+/// `new_line` keeps each segment's first instruction flagged (the icache
+/// touch sequence restarts there too). All architectural corrections
+/// still happen at the original block boundaries during dispatch, which
+/// is what keeps trace execution bit-identical to per-block execution.
+struct Trace {
+  uint32_t addr = 0;  ///< head block address
+  std::vector<trc::Instr> instrs;
+  std::vector<uint32_t> cum_cycles;
+  std::vector<uint8_t> new_line;
+  std::vector<uint32_t> line_set;
+  std::vector<uint32_t> line_tag;
+  std::vector<TraceSegment> segs;
+  /// Total instruction count across all segments. The dispatcher admits
+  /// a trace only when the whole trace fits the remaining instruction
+  /// budget, so no per-boundary budget test survives inside.
+  uint32_t total_instrs = 0;
+  /// Hot-count statistic: number of times the trace was entered.
+  uint64_t dispatches = 0;
+};
+
+/// Trace-formation limits.
+struct TraceOptions {
+  uint32_t max_blocks = 8;
+  uint32_t max_instrs = 256;
 };
 
 class BlockCache {
@@ -68,8 +144,19 @@ class BlockCache {
   /// The `n` most executed blocks, hottest first (ties by address).
   [[nodiscard]] std::vector<const ExecBlock*> hottest(size_t n) const;
 
+  [[nodiscard]] const std::vector<Trace>& traces() const { return traces_; }
+  [[nodiscard]] std::vector<Trace>& traces() { return traces_; }
+
+  /// Splices the block at `head` with its dominant successors into a new
+  /// superblock (see trace.cpp for the formation rules). Returns the new
+  /// trace's index, or kTraceDeclined when no multi-block trace can be
+  /// formed. Does not modify blocks()[head].trace — the caller records
+  /// the verdict there.
+  int32_t formTrace(int32_t head, const TraceOptions& opts);
+
  private:
   std::vector<ExecBlock> blocks_;
+  std::vector<Trace> traces_;
   std::unordered_map<uint32_t, size_t> by_addr_;
 };
 

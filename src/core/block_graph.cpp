@@ -21,6 +21,17 @@ BlockGraph BlockGraph::build(const elf::Object& object,
     }
   }
 
+  {
+    const trc::Instr& last_instr = graph.instrs_.back();
+    graph.text_base_ = graph.instrs_.front().addr;
+    graph.text_span_ = last_instr.addr + last_instr.size - graph.text_base_;
+    graph.leader_bits_.assign((graph.text_span_ / 2 + 63) / 64, 0);
+    for (const uint32_t addr : graph.leaders_) {
+      const uint32_t bit = (addr - graph.text_base_) >> 1;
+      graph.leader_bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+  }
+
   for (size_t i = 0; i < graph.instrs_.size(); ++i) {
     const trc::Instr& instr = graph.instrs_[i];
     if (graph.blocks_.empty() || graph.leaders_.count(instr.addr) != 0) {
@@ -65,6 +76,25 @@ BlockGraph BlockGraph::build(const elf::Object& object,
     }
   }
   return graph;
+}
+
+int32_t BlockGraph::blockIndexContaining(uint32_t addr) const {
+  if (addr - text_base_ >= text_span_) {
+    return -1;
+  }
+  // Blocks are sorted by address: the containing block is the last one
+  // starting at or before `addr` (blocks tile .text, so it exists).
+  size_t lo = 0;
+  size_t hi = blocks_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid].addr <= addr) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int32_t>(lo);
 }
 
 uint32_t staticBlockCycles(const arch::ArchDescription& desc,

@@ -65,6 +65,24 @@ class BlockGraph {
     const auto it = by_addr_.find(addr);
     return it == by_addr_.end() ? -1 : static_cast<int32_t>(it->second);
   }
+
+  /// O(1) leader probe over a flat bitmap spanning .text. This is the
+  /// execution hot path's replacement for `leaders().count(addr)`: no
+  /// tree walk, no hashing — one shift-and-mask per dispatched block.
+  /// Addresses outside .text answer false (they cannot be leaders).
+  [[nodiscard]] bool isLeaderFast(uint32_t addr) const {
+    const uint32_t off = addr - text_base_;  // wraps for addr < base
+    if (off >= text_span_) {
+      return false;
+    }
+    const uint32_t bit = off >> 1;  // instructions are 2-byte aligned
+    return ((leader_bits_[bit >> 6] >> (bit & 63)) & 1u) != 0;
+  }
+
+  /// Index of the block whose [addr, last-instruction] range contains
+  /// `addr`, or -1 when `addr` is outside .text. Used to maintain the
+  /// per-block breakpoint flags without scanning on dispatch.
+  [[nodiscard]] int32_t blockIndexContaining(uint32_t addr) const;
   [[nodiscard]] const Block* blockAt(uint32_t addr) const {
     const int32_t i = indexAt(addr);
     return i < 0 ? nullptr : &blocks_[static_cast<size_t>(i)];
@@ -90,6 +108,11 @@ class BlockGraph {
   std::set<uint32_t> leaders_;
   std::unordered_map<uint32_t, size_t> by_addr_;
   uint32_t entry_ = 0;
+  // Flat leader bitmap over [text_base_, text_base_ + text_span_), one
+  // bit per 2-byte slot. Mirrors `leaders_`; rebuilt alongside it.
+  uint32_t text_base_ = 0;
+  uint32_t text_span_ = 0;
+  std::vector<uint64_t> leader_bits_;
 };
 
 /// Static cycle count of one straight-line instruction sequence executed

@@ -34,8 +34,45 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
 core::BlockCache& Iss::blockCache() {
   if (cache_ == nullptr) {
     cache_ = std::make_unique<core::BlockCache>(desc_, graph_);
+    // Breakpoints planted before the first dispatch: replay them into
+    // the per-block flags the dispatcher tests.
+    for (const uint32_t addr : breakpoints_) {
+      refreshBreakpointFlag(addr);
+    }
   }
   return *cache_;
+}
+
+void Iss::refreshBreakpointFlag(uint32_t addr) {
+  if (cache_ == nullptr) {
+    return;  // the lazy cache build replays the whole set
+  }
+  const int32_t idx = graph_.blockIndexContaining(addr);
+  if (idx < 0) {
+    return;
+  }
+  core::ExecBlock& block = cache_->blocks()[static_cast<size_t>(idx)];
+  block.has_breakpoint = blockHasBreakpoint(block) ? 1 : 0;
+}
+
+void Iss::addBreakpoint(uint32_t addr) {
+  breakpoints_.insert(addr);
+  refreshBreakpointFlag(addr);
+}
+
+void Iss::removeBreakpoint(uint32_t addr) {
+  breakpoints_.erase(addr);
+  refreshBreakpointFlag(addr);
+}
+
+bool Iss::traceHasBreakpoint(const core::Trace& trace) const {
+  for (const core::TraceSegment& seg : trace.segs) {
+    if (cache_->blocks()[static_cast<size_t>(seg.block)].has_breakpoint !=
+        0) {
+      return true;
+    }
+  }
+  return false;
 }
 
 const Instr& Iss::fetch(uint32_t addr) const {
@@ -105,6 +142,26 @@ bool Iss::blockHasBreakpoint(const core::ExecBlock& block) const {
   return it != breakpoints_.end() && *it <= block.instrs.back().addr;
 }
 
+void Iss::icacheAccess(uint32_t addr) {
+  ++stats_.icache_accesses;
+  if (!icache_.access(addr)) {
+    ++stats_.icache_misses;
+    committed_cycles_ += desc_.icache.miss_penalty;
+    stats_.cache_penalty += desc_.icache.miss_penalty;
+    current_block_.cache_penalty += desc_.icache.miss_penalty;
+  }
+}
+
+void Iss::icacheAccessTagged(uint32_t set, uint32_t want) {
+  ++stats_.icache_accesses;
+  if (!icache_.accessTagged(set, want)) {
+    ++stats_.icache_misses;
+    committed_cycles_ += desc_.icache.miss_penalty;
+    stats_.cache_penalty += desc_.icache.miss_penalty;
+    current_block_.cache_penalty += desc_.icache.miss_penalty;
+  }
+}
+
 void Iss::commitBlock() {
   const uint64_t pipeline = live_pipe_;
   committed_cycles_ += pipeline;
@@ -168,13 +225,7 @@ StopReason Iss::step() {
       if (!have_line_ || line != last_line_) {
         have_line_ = true;
         last_line_ = line;
-        ++stats_.icache_accesses;
-        if (!icache_.access(pc_)) {
-          ++stats_.icache_misses;
-          committed_cycles_ += desc_.icache.miss_penalty;
-          stats_.cache_penalty += desc_.icache.miss_penalty;
-          current_block_.cache_penalty += desc_.icache.miss_penalty;
-        }
+        icacheAccess(pc_);
       }
     }
     timer_.issue(instr.timedOp());
@@ -205,13 +256,7 @@ void Iss::dispatchBlock(core::ExecBlock& block) {
     const Instr& instr = block.instrs[i];
     if (timing) {
       if (icacheOn() && block.new_line[i] != 0) {
-        ++stats_.icache_accesses;
-        if (!icache_.access(instr.addr)) {
-          ++stats_.icache_misses;
-          committed_cycles_ += desc_.icache.miss_penalty;
-          stats_.cache_penalty += desc_.icache.miss_penalty;
-          current_block_.cache_penalty += desc_.icache.miss_penalty;
-        }
+        icacheAccess(instr.addr);
       }
       live_pipe_ = block.cum_cycles[i];
     }
@@ -225,6 +270,265 @@ void Iss::dispatchBlock(core::ExecBlock& block) {
     finishBlock();
     syncBusClock();
   }
+}
+
+template <bool Timing, bool ICache, bool BranchX>
+void Iss::dispatchBlockT(core::ExecBlock& block) {
+  ++block.exec_count;
+  ++stats_.cached_blocks;
+  if constexpr (Timing) {
+    current_block_ = BlockRecord{};
+    current_block_.addr = block.addr;
+    in_block_ = true;
+    ++stats_.blocks;
+  }
+  const Instr* instrs = block.instrs.data();
+  const uint32_t* cum = block.cum_cycles.data();
+  const uint8_t* new_line = ICache ? block.new_line.data() : nullptr;
+  const uint32_t* line_set = ICache ? block.line_set.data() : nullptr;
+  const uint32_t* line_tag = ICache ? block.line_tag.data() : nullptr;
+  const size_t n = block.instrs.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Instr& instr = instrs[i];
+    if constexpr (ICache) {
+      if (new_line[i] != 0) {
+        icacheAccessTagged(line_set[i], line_tag[i]);
+      }
+    }
+    if constexpr (Timing) {
+      live_pipe_ = cum[i];
+    }
+    executeT<BranchX>(instr);
+    ++stats_.instructions;
+    if (stop_ != StopReason::kRunning) {
+      break;  // HALT or BKPT mid-block; live_pipe_ holds the partial cost
+    }
+  }
+  if (stop_ == StopReason::kHalted) {
+    finishBlock();
+    syncBusClock();
+  }
+}
+
+int32_t Iss::resolveNext(core::ExecBlock& block) {
+  if (stop_ != StopReason::kRunning) {
+    return -1;
+  }
+  const std::vector<core::ExecBlock>& blocks = cache_->blocks();
+  if (block.target >= 0 &&
+      pc_ == blocks[static_cast<size_t>(block.target)].addr) {
+    ++block.taken_count;
+    return block.target;
+  }
+  if (block.fall_through >= 0 &&
+      pc_ == blocks[static_cast<size_t>(block.fall_through)].addr) {
+    ++block.ft_count;
+    return block.fall_through;
+  }
+  return -1;  // indirect target (or a transfer out of .text)
+}
+
+template <bool Timing>
+int32_t Iss::afterBlock(core::ExecBlock& block) {
+  const int32_t next = resolveNext(block);
+  if constexpr (Timing) {
+    if (next < 0 && stop_ == StopReason::kRunning &&
+        !graph_.isLeaderFast(pc_)) {
+      // Indirect transfer into the middle of a block: per-instruction
+      // semantics keep the current block open across the jump, so restore
+      // the stepping engine's view of it (warm issue schedule and line
+      // tracking) before falling back.
+      timer_.reset();
+      for (const Instr& instr : block.instrs) {
+        timer_.issue(instr.timedOp());
+      }
+      live_pipe_ = timer_.cycles();
+      if (icacheOn()) {
+        have_line_ = true;
+        last_line_ = desc_.icache.lineOf(block.instrs.back().addr);
+      }
+    }
+  }
+  return next;
+}
+
+template <bool Timing, bool ICache, bool BranchX>
+int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
+                            bool* epoch_done) {
+  // Admission (runChainedT) guaranteed the whole trace fits the
+  // instruction budget, so no budget test survives inside the trace.
+  ++trace.dispatches;
+  ++stats_.trace_dispatches;
+  std::vector<core::ExecBlock>& blocks = cache_->blocks();
+  const Instr* instrs = trace.instrs.data();
+  const uint32_t* cum = trace.cum_cycles.data();
+  const uint8_t* new_line = ICache ? trace.new_line.data() : nullptr;
+  const uint32_t* line_set = ICache ? trace.line_set.data() : nullptr;
+  const uint32_t* line_tag = ICache ? trace.line_tag.data() : nullptr;
+  const core::TraceSegment* segs = trace.segs.data();
+  const size_t num_segs = trace.segs.size();
+  for (size_t s = 0;; ++s) {
+    const core::TraceSegment& seg = segs[s];
+    core::ExecBlock& block = blocks[static_cast<size_t>(seg.block)];
+    ++block.exec_count;
+    ++block.trace_execs;
+    ++stats_.cached_blocks;
+    ++stats_.trace_blocks;
+    if constexpr (Timing) {
+      current_block_ = BlockRecord{};
+      current_block_.addr = block.addr;
+      in_block_ = true;
+      ++stats_.blocks;
+    }
+    const uint32_t first = seg.first;
+    const uint32_t count = seg.count;
+    for (uint32_t i = 0; i < count; ++i) {
+      const Instr& instr = instrs[first + i];
+      if constexpr (ICache) {
+        if (new_line[first + i] != 0) {
+          icacheAccessTagged(line_set[first + i], line_tag[first + i]);
+        }
+      }
+      if constexpr (Timing) {
+        live_pipe_ = cum[first + i];
+      }
+      executeT<BranchX>(instr);
+      ++stats_.instructions;
+      if (stop_ != StopReason::kRunning) {
+        if (stop_ == StopReason::kHalted) {
+          finishBlock();
+          syncBusClock();
+        }
+        return -1;  // HALT or BKPT mid-block
+      }
+    }
+    if (s + 1 == num_segs) {
+      return afterBlock<Timing>(block);  // chain off the trace end
+    }
+    // Original block boundary inside the trace: the identical epoch
+    // sequence the outer loop performs between two chained blocks —
+    // lazy commit, quantum yield, interrupt sample, then the guard.
+    finishBlock();
+    if (localTime() >= time_limit) {
+      return kDispatchYield;  // resumable: pc_ rests on the next leader
+    }
+    if (irq_ != nullptr) {
+      maybeTakeIrq();
+    }
+    if (pc_ != segs[s + 1].entry_addr) {
+      // Guard failure: the branch went the non-dominant way or an
+      // interrupt redirected control. Bail to block granularity; the
+      // actual successor may still chain. This boundary's epoch has
+      // already run — the outer loop must not repeat it.
+      ++stats_.guard_bails;
+      *epoch_done = true;
+      return resolveNext(block);
+    }
+  }
+}
+
+template <bool Timing, bool ICache, bool BranchX>
+StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
+  core::BlockCache& cache = blockCache();
+  std::vector<core::ExecBlock>& blocks = cache.blocks();
+  const core::TraceOptions trace_opts{config_.trace_max_blocks,
+                                      config_.trace_max_instrs};
+  int32_t next_idx = -1;
+  bool epoch_done = false;
+  while (stop_ == StopReason::kRunning) {
+    if (stats_.instructions >= config_.max_instructions) {
+      stop_ = StopReason::kMaxInstructions;
+      break;
+    }
+    core::ExecBlock* block =
+        next_idx >= 0 ? &blocks[static_cast<size_t>(next_idx)] : nullptr;
+    next_idx = -1;
+    bool via_chain = block != nullptr;
+    if (epoch_done) {
+      // A trace bailed *after* running this boundary's commit/yield/
+      // interrupt epoch: resolve the block and dispatch directly, the
+      // way the epoch branch below would have continued.
+      epoch_done = false;
+      if (block == nullptr && !in_block_) {
+        block = cache.lookup(pc_);
+      }
+    } else if (block != nullptr || graph_.isLeaderFast(pc_)) {
+      // A chained successor is by construction a leader the pc has
+      // already reached; otherwise one bitmap probe decides whether this
+      // is a block boundary. A still-open block is committed lazily,
+      // exactly when the stepping engine would: at the first instruction
+      // of the next leader.
+      if (in_block_) {
+        finishBlock();
+      }
+      if (localTime() >= time_limit) {
+        return StopReason::kCycleLimit;  // resumable: stop_ stays running
+      }
+      if (irq_ != nullptr) {
+        maybeTakeIrq();  // may redirect pc_ to the vector (also a leader)
+        if (block != nullptr && pc_ != block->addr) {
+          block = nullptr;  // redirected: the chained edge no longer holds
+          via_chain = false;
+        }
+      }
+      if (block == nullptr && !in_block_) {
+        block = cache.lookup(pc_);
+      }
+    }
+    if (block != nullptr && !breakpoints_.empty() &&
+        block->has_breakpoint != 0) {
+      // Never dispatch a cached block containing a breakpoint, however
+      // hot: the stepping fallback stops exactly on the breakpoint.
+      block = nullptr;
+    }
+    if (block == nullptr || stats_.instructions + block->instrs.size() >
+                                config_.max_instructions) {
+      // Per-instruction fallback: mid-block landing addresses, blocks
+      // with breakpoints and the final instructions before the
+      // instruction limit.
+      step();
+      continue;
+    }
+    if (via_chain) {
+      // Counted only for dispatches that actually go through the cache
+      // (not chained arrivals refused for breakpoints or budget), so
+      // chain_entries never exceeds exec_count.
+      ++stats_.chain_hits;
+      ++block->chain_entries;
+    }
+    if (traces) {
+      if (block->trace == core::kTraceUnformed &&
+          block->exec_count >= config_.trace_threshold &&
+          block->exec_count >= block->trace_retry_at) {
+        block->trace = cache.formTrace(
+            static_cast<int32_t>(block - blocks.data()), trace_opts);
+        if (block->trace == core::kTraceDeclined) {
+          // A refusal can be transient (breakpointed successor, not yet
+          // skewed branch statistics): re-attempt with geometric
+          // backoff instead of declining forever.
+          block->trace = core::kTraceUnformed;
+          block->trace_retry_at = block->exec_count * 2;
+        }
+      }
+      if (block->trace >= 0) {
+        core::Trace& trace =
+            cache.traces()[static_cast<size_t>(block->trace)];
+        if ((breakpoints_.empty() || !traceHasBreakpoint(trace)) &&
+            stats_.instructions + trace.total_instrs <=
+                config_.max_instructions) {
+          next_idx = dispatchTraceT<Timing, ICache, BranchX>(
+              trace, time_limit, &epoch_done);
+          if (next_idx == kDispatchYield) {
+            return StopReason::kCycleLimit;
+          }
+          continue;
+        }
+      }
+    }
+    dispatchBlockT<Timing, ICache, BranchX>(*block);
+    next_idx = afterBlock<Timing>(*block);
+  }
+  return stop_;
 }
 
 StopReason Iss::run() { return runLoop(~static_cast<uint64_t>(0)); }
@@ -250,6 +554,26 @@ StopReason Iss::runLoop(uint64_t time_limit) {
     }
     return stop_;
   }
+  if (config_.dispatch_mode == DispatchMode::kLookup) {
+    return runLoopLookup(time_limit);
+  }
+  const bool traces = config_.dispatch_mode == DispatchMode::kChainedTraces;
+  if (!config_.model_timing) {
+    return runChainedT<false, false, false>(time_limit, traces);
+  }
+  const bool with_icache = icacheOn();
+  const bool with_extras = config_.model_branch_extras;
+  if (with_icache) {
+    return with_extras
+               ? runChainedT<true, true, true>(time_limit, traces)
+               : runChainedT<true, true, false>(time_limit, traces);
+  }
+  return with_extras
+             ? runChainedT<true, false, true>(time_limit, traces)
+             : runChainedT<true, false, false>(time_limit, traces);
+}
+
+StopReason Iss::runLoopLookup(uint64_t time_limit) {
   while (stop_ == StopReason::kRunning) {
     if (stats_.instructions >= config_.max_instructions) {
       stop_ = StopReason::kMaxInstructions;
@@ -257,7 +581,9 @@ StopReason Iss::runLoop(uint64_t time_limit) {
     }
     // A still-open block is committed lazily, exactly when the stepping
     // engine would: at the first instruction of the next leader.
-    const bool boundary = isLeader(pc_);
+    // (Deliberately the pre-chaining ordered-set probe, not the bitmap:
+    // this loop is the dispatch ablation's measured baseline.)
+    const bool boundary = graph_.leaders().count(pc_) != 0;
     if (boundary && in_block_) {
       finishBlock();
     }
@@ -269,7 +595,7 @@ StopReason Iss::runLoop(uint64_t time_limit) {
     }
     core::ExecBlock* block = in_block_ ? nullptr : blockCache().lookup(pc_);
     if (block != nullptr && !breakpoints_.empty() &&
-        blockHasBreakpoint(*block)) {
+        block->has_breakpoint != 0) {
       // Never dispatch a cached block containing a breakpoint, however
       // hot: the stepping fallback stops exactly on the breakpoint.
       block = nullptr;
@@ -311,7 +637,7 @@ std::vector<HotBlock> Iss::hotBlocks(size_t n) const {
   }
   for (const core::ExecBlock* b : cache_->hottest(n)) {
     out.push_back({b->addr, static_cast<uint32_t>(b->instrs.size()),
-                   b->exec_count});
+                   b->exec_count, b->chain_entries, b->trace_execs});
   }
   return out;
 }
@@ -342,7 +668,19 @@ void Iss::storeMem(uint32_t addr, uint32_t value, unsigned size) {
 }
 
 void Iss::execute(const Instr& in) {
-  const arch::BranchModel& bm = desc_.branch;
+  // The stepping engine resolves the branch-extra knob per call; the
+  // templated dispatch loops bind executeT<BranchX> directly so the test
+  // is hoisted out of the per-instruction path entirely.
+  if (config_.model_timing && config_.model_branch_extras) {
+    executeT<true>(in);
+  } else {
+    executeT<false>(in);
+  }
+}
+
+template <bool BranchX>
+void Iss::executeT(const Instr& in) {
+  [[maybe_unused]] const arch::BranchModel& bm = desc_.branch;
   uint32_t next_pc = pc_ + in.size;
 
   const auto condBranch = [&](bool taken) {
@@ -355,7 +693,7 @@ void Iss::execute(const Instr& in) {
     if (predicted_taken != taken) {
       ++stats_.mispredicts;
     }
-    if (config_.model_timing && config_.model_branch_extras) {
+    if constexpr (BranchX) {
       const unsigned extra = bm.conditionalExtra(predicted_taken, taken);
       committed_cycles_ += extra;
       stats_.branch_extra += extra;
@@ -363,7 +701,7 @@ void Iss::execute(const Instr& in) {
     }
   };
   const auto uncondExtra = [&] {
-    if (config_.model_timing && config_.model_branch_extras) {
+    if constexpr (BranchX) {
       const unsigned extra = bm.unconditionalExtra(in.cls());
       committed_cycles_ += extra;
       stats_.branch_extra += extra;

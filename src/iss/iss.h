@@ -10,9 +10,13 @@
 //
 // Two execution engines share identical semantics:
 //   * a block-dispatch engine (the default for run()) that executes whole
-//     predecoded blocks from a core::BlockCache — operands, issue
-//     schedules and cache-line groups are computed once per block, and
-//     branch/icache corrections are applied at block boundaries; and
+//     predecoded blocks from a core::BlockCache. After a block retires,
+//     the next block is resolved through its precomputed successor edges
+//     (direct chaining — no hash lookup on the common path), hot blocks
+//     are spliced with their dominant successors into guarded superblock
+//     traces, and the inner loop is specialized by template on the
+//     timing/icache/branch-extra knobs so no per-instruction config test
+//     survives in the hot path (see DESIGN.md section 6); and
 //   * a per-instruction step() engine, used by single stepping, as the
 //     fallback for addresses that are not block leaders, and to stop
 //     exactly at the instruction limit.
@@ -84,8 +88,34 @@ struct IssStats {
   uint64_t irq_entry_cycles = 0;  ///< cycles charged for interrupt entry
   /// Blocks dispatched through the predecoded block cache (the rest ran
   /// on the per-instruction fallback engine). Not part of the
-  /// architectural comparison between the two engines.
+  /// architectural comparison between the two engines — nor are the
+  /// dispatch-path counters below, which record *how* blocks were
+  /// reached so the perf trajectory can explain why speed changed.
   uint64_t cached_blocks = 0;
+  /// Dispatches whose block was resolved through a chained successor
+  /// edge (no address lookup).
+  uint64_t chain_hits = 0;
+  /// Superblock (trace) entries, and blocks retired inside traces.
+  uint64_t trace_dispatches = 0;
+  uint64_t trace_blocks = 0;
+  /// Early trace exits: the pc observed at an internal block boundary
+  /// did not match the speculated next segment (branch went the
+  /// non-dominant way, or an interrupt redirected control).
+  uint64_t guard_bails = 0;
+};
+
+/// Block-dispatch strategy of the run()/runUntil() engine (only
+/// meaningful while `use_block_cache` is true).
+enum class DispatchMode {
+  /// Address lookup per dispatched block (hash map + ordered-set leader
+  /// probes) — the pre-chaining engine, kept verbatim as the measured
+  /// baseline of bench_ablation_dispatch.
+  kLookup,
+  /// Successor chaining over the precomputed target/fall-through edges
+  /// with an O(1) leader bitmap and template-specialized inner loops.
+  kChained,
+  /// kChained plus superblock trace formation for hot blocks.
+  kChainedTraces,
 };
 
 struct IssConfig {
@@ -102,6 +132,16 @@ struct IssConfig {
   /// pre-block-cache behaviour; kept for differential testing and for
   /// debugger-style consumers that want stepping semantics throughout).
   bool use_block_cache = true;
+  /// Block-dispatch strategy; kLookup/kChained exist for differential
+  /// testing and the dispatch ablation.
+  DispatchMode dispatch_mode = DispatchMode::kChainedTraces;
+  /// A block heads a superblock trace once dispatched this many times
+  /// (kChainedTraces only).
+  uint32_t trace_threshold = 64;
+  /// Trace formation limits (blocks spliced per trace; a revisited
+  /// block unrolls a hot loop into the trace).
+  uint32_t trace_max_blocks = 8;
+  uint32_t trace_max_instrs = 256;
   uint64_t max_instructions = 500'000'000;
   /// Cycles charged when an interrupt is accepted (pipeline flush + the
   /// vector fetch), at the block boundary where it is taken.
@@ -120,11 +160,14 @@ struct BlockRecord {
   uint32_t cache_penalty = 0;
 };
 
-/// Hot-count entry: how often one basic block was dispatched.
+/// Hot-count entry: how often one basic block was dispatched, and how
+/// it was reached (through a chained successor edge / inside a trace).
 struct HotBlock {
   uint32_t addr = 0;
   uint32_t instr_count = 0;
   uint64_t exec_count = 0;
+  uint64_t chain_entries = 0;
+  uint64_t trace_execs = 0;
 };
 
 class Iss {
@@ -158,11 +201,13 @@ class Iss {
 
   /// Debugger-style breakpoints: run()/step() stop with kDebugBreak
   /// *before* executing the instruction at `addr` (pc() == addr). The
-  /// block engine refuses to dispatch any cached block containing a
-  /// breakpoint and falls back to stepping, no matter how hot the block
-  /// is. Resuming (the next run()/step()) executes the instruction.
-  void addBreakpoint(uint32_t addr) { breakpoints_.insert(addr); }
-  void removeBreakpoint(uint32_t addr) { breakpoints_.erase(addr); }
+  /// block engine refuses to dispatch any cached block — or any trace
+  /// with a constituent block — containing a breakpoint and falls back
+  /// to stepping, no matter how hot the block is. Both calls maintain
+  /// the per-block `has_breakpoint` flags the dispatcher tests.
+  /// Resuming (the next run()/step()) executes the instruction.
+  void addBreakpoint(uint32_t addr);
+  void removeBreakpoint(uint32_t addr);
   [[nodiscard]] const std::set<uint32_t>& breakpoints() const {
     return breakpoints_;
   }
@@ -201,6 +246,11 @@ class Iss {
   }
 
  private:
+  /// dispatchTraceT() result meaning "yield with kCycleLimit now";
+  /// non-negative results chain into the next block, -1 falls back to
+  /// lookup/stepping.
+  static constexpr int32_t kDispatchYield = -3;
+
   const trc::Instr& fetch(uint32_t addr) const;
   void commitBlock();
   void finishBlock();
@@ -210,14 +260,55 @@ class Iss {
   void syncBusClock();
   [[nodiscard]] uint64_t currentCycle() const;
   void execute(const trc::Instr& instr);
+  /// The execute switch with the branch-extra config test resolved at
+  /// compile time (BranchX = model_timing && model_branch_extras).
+  template <bool BranchX>
+  void executeT(const trc::Instr& instr);
+  /// One icache line-group touch: access + miss accounting. The tagged
+  /// form takes the set/tag the block cache precomputed per line group.
+  void icacheAccess(uint32_t addr);
+  void icacheAccessTagged(uint32_t set, uint32_t want);
   StopReason runLoop(uint64_t time_limit);
+  /// The pre-chaining dispatch loop (DispatchMode::kLookup): address
+  /// hash lookup + ordered-set leader probes per block. Kept verbatim as
+  /// the measured baseline of the dispatch ablation.
+  StopReason runLoopLookup(uint64_t time_limit);
+  /// The chained engine, specialized on (model_timing, icache-on,
+  /// model_branch_extras); `traces` enables superblock formation.
+  template <bool Timing, bool ICache, bool BranchX>
+  StopReason runChainedT(uint64_t time_limit, bool traces);
+  /// dispatchBlock with the per-instruction config tests hoisted into
+  /// template parameters.
+  template <bool Timing, bool ICache, bool BranchX>
+  void dispatchBlockT(core::ExecBlock& block);
+  /// Executes a superblock; applies every correction at the original
+  /// block boundaries and bails on guard failure. Returns the chained
+  /// next-block index, -1 (resolve via lookup/stepping) or
+  /// kDispatchYield (quantum expired at an internal boundary). Sets
+  /// *epoch_done when it bailed *after* running a boundary's commit/
+  /// yield/interrupt epoch, so the caller runs each epoch exactly once.
+  template <bool Timing, bool ICache, bool BranchX>
+  int32_t dispatchTraceT(core::Trace& trace, uint64_t time_limit,
+                         bool* epoch_done);
+  /// Resolves the retired block's successor through its precomputed
+  /// edges by comparing pc_ (no lookup); updates the outcome counters.
+  int32_t resolveNext(core::ExecBlock& block);
+  /// resolveNext plus the stepping-engine re-warm for indirect jumps
+  /// landing mid-block (see runLoopLookup for the original comment).
+  template <bool Timing>
+  int32_t afterBlock(core::ExecBlock& block);
+  /// True when any constituent block of `trace` holds a breakpoint.
+  [[nodiscard]] bool traceHasBreakpoint(const core::Trace& trace) const;
+  /// Recomputes the has_breakpoint flag of the block containing `addr`
+  /// (no-op before the cache exists; the cache build replays the set).
+  void refreshBreakpointFlag(uint32_t addr);
   /// Samples the interrupt input at a block boundary; may redirect pc_.
   void maybeTakeIrq();
   /// Stops with kDebugBreak when pc_ sits on a breakpoint (once per
   /// arrival: a resume steps over it). Returns true when stopped.
   bool checkDebugBreak();
   [[nodiscard]] bool isLeader(uint32_t addr) const {
-    return graph_.leaders().count(addr) != 0;
+    return graph_.isLeaderFast(addr);
   }
   [[nodiscard]] bool icacheOn() const {
     return desc_.icache.enabled && config_.model_icache;

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/timing.h"
+#include "common/strutil.h"
 #include "core/block_cache.h"
 #include "core/block_graph.h"
 #include "iss/iss.h"
@@ -132,6 +133,123 @@ fn:     ret16
   EXPECT_EQ(b[6].fall_through, -1);
   EXPECT_EQ(graph.indexAt(b[4].addr), 4);
   EXPECT_EQ(graph.blockAt(0xdeadbeef), nullptr);
+}
+
+TEST(BlockGraph, LeaderBitmapMatchesLeaderSet) {
+  for (const workloads::Workload& w : workloads::all()) {
+    SCOPED_TRACE(w.name);
+    const elf::Object obj = workloads::assemble(w);
+    const BlockGraph graph = BlockGraph::build(obj);
+    // Every 2-byte slot of .text answers exactly like the ordered set;
+    // addresses outside .text answer false.
+    const uint32_t first = graph.instrs().front().addr;
+    const trc::Instr& last = graph.instrs().back();
+    for (uint32_t a = first; a < last.addr + last.size; a += 2) {
+      EXPECT_EQ(graph.isLeaderFast(a), graph.leaders().count(a) != 0)
+          << hex32(a);
+    }
+    EXPECT_FALSE(graph.isLeaderFast(first - 2));
+    EXPECT_FALSE(graph.isLeaderFast(last.addr + last.size));
+    EXPECT_FALSE(graph.isLeaderFast(0));
+    EXPECT_FALSE(graph.isLeaderFast(0xffffffffu));
+  }
+}
+
+TEST(BlockGraph, BlockIndexContaining) {
+  const elf::Object obj = trc::assemble(R"(
+_start: movi d0, 3
+loop:   addi16 d0, -1
+        add d1, d1, d0
+        jnz16 d0, loop
+        halt
+)");
+  const BlockGraph graph = BlockGraph::build(obj);
+  ASSERT_EQ(graph.blocks().size(), 3u);
+  for (size_t i = 0; i < graph.blocks().size(); ++i) {
+    const Block& b = graph.blocks()[i];
+    // Every instruction address of a block maps back to its index.
+    for (const trc::Instr* in = graph.begin(b); in != graph.end(b); ++in) {
+      EXPECT_EQ(graph.blockIndexContaining(in->addr),
+                static_cast<int32_t>(i));
+    }
+  }
+  EXPECT_EQ(graph.blockIndexContaining(0), -1);
+  EXPECT_EQ(graph.blockIndexContaining(0xdeadbeef), -1);
+}
+
+TEST(Traces, FormsDominantChainWithFlattenedSchedules) {
+  const elf::Object obj = trc::assemble(R"(
+_start: movi d0, 100
+loop:   add d1, d1, d0
+        addi16 d0, -1
+        jnz16 d0, loop
+        halt
+)");
+  const arch::ArchDescription desc = defaultArch();
+  const BlockGraph graph = BlockGraph::build(obj);
+  BlockCache cache(desc, graph);
+  // Blocks: _start | loop | halt. Seed the loop's observed outcomes so
+  // the backedge dominates 4:1.
+  const int32_t loop_idx = graph.indexAt(graph.blocks()[1].addr);
+  ASSERT_EQ(loop_idx, 1);
+  cache.blocks()[1].taken_count = 99;
+  cache.blocks()[1].ft_count = 1;
+  TraceOptions opts;
+  opts.max_blocks = 4;
+  const int32_t t = cache.formTrace(1, opts);
+  ASSERT_GE(t, 0);
+  const Trace& tr = cache.traces()[static_cast<size_t>(t)];
+  // The hot loop unrolls into max_blocks copies of itself, guarded by
+  // its own entry address at every internal boundary.
+  ASSERT_EQ(tr.segs.size(), 4u);
+  const ExecBlock& loop = cache.blocks()[1];
+  EXPECT_EQ(tr.addr, loop.addr);
+  EXPECT_EQ(tr.total_instrs, 4 * loop.instrs.size());
+  for (size_t s = 0; s < tr.segs.size(); ++s) {
+    const TraceSegment& seg = tr.segs[s];
+    EXPECT_EQ(seg.block, 1);
+    EXPECT_EQ(seg.entry_addr, loop.addr);
+    ASSERT_EQ(seg.count, loop.instrs.size());
+    // Flattened arrays are the block's predecoded data, per segment.
+    for (uint32_t i = 0; i < seg.count; ++i) {
+      EXPECT_EQ(tr.instrs[seg.first + i].addr, loop.instrs[i].addr);
+      EXPECT_EQ(tr.cum_cycles[seg.first + i], loop.cum_cycles[i]);
+      if (!loop.new_line.empty()) {
+        EXPECT_EQ(tr.new_line[seg.first + i], loop.new_line[i]);
+        EXPECT_EQ(tr.line_set[seg.first + i], loop.line_set[i]);
+        EXPECT_EQ(tr.line_tag[seg.first + i], loop.line_tag[i]);
+      }
+    }
+  }
+}
+
+TEST(Traces, DeclinesAmbiguousAndSingleBlockChains) {
+  const elf::Object obj = trc::assemble(R"(
+_start: movi d0, 100
+loop:   add d1, d1, d0
+        addi16 d0, -1
+        jnz16 d0, loop
+        halt
+)");
+  const BlockGraph graph = BlockGraph::build(obj);
+  {
+    // Balanced outcomes: no dominant successor, nothing to splice.
+    BlockCache cache(defaultArch(), graph);
+    cache.blocks()[1].taken_count = 50;
+    cache.blocks()[1].ft_count = 50;
+    EXPECT_EQ(cache.formTrace(1, TraceOptions{}), kTraceDeclined);
+  }
+  {
+    // A breakpointed successor terminates the chain: from the halt
+    // block (no successor at all) the trace is a single block and is
+    // declined outright.
+    BlockCache cache(defaultArch(), graph);
+    EXPECT_EQ(cache.formTrace(2, TraceOptions{}), kTraceDeclined);
+    // The dominant successor exists but carries a breakpoint flag.
+    cache.blocks()[1].taken_count = 100;
+    cache.blocks()[1].has_breakpoint = 1;
+    EXPECT_EQ(cache.formTrace(1, TraceOptions{}), kTraceDeclined);
+  }
 }
 
 TEST(BlockCache, LineGroupsMatchCacheAnalysisBlocks) {

@@ -1,0 +1,329 @@
+// Targeted tests of the chained / trace block-dispatch engine: successor
+// chaining, superblock formation and guarded dispatch, guard-failure
+// bails, indirect jumps into trace interiors and block middles,
+// instruction-limit stops inside hot traces, quantum slicing, and the
+// per-block breakpoint flags. The broad equivalence sweep lives in
+// random_program_test.cpp; these are the corner cases with a known
+// shape.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iss/iss.h"
+#include "trc/assembler.h"
+
+namespace cabt {
+namespace {
+
+arch::ArchDescription defaultArch() {
+  return arch::ArchDescription::defaultTc10gp();
+}
+
+iss::IssConfig traceConfig(uint32_t threshold = 2) {
+  iss::IssConfig cfg;
+  cfg.dispatch_mode = iss::DispatchMode::kChainedTraces;
+  cfg.trace_threshold = threshold;
+  return cfg;
+}
+
+iss::IssConfig steppingConfig() {
+  iss::IssConfig cfg;
+  cfg.use_block_cache = false;
+  return cfg;
+}
+
+// A hot nested loop: the inner block re-enters itself 20 times per outer
+// iteration, so a low-threshold trace engine unrolls it into a
+// superblock whose guards fail exactly once per inner-loop exit.
+const char* kNestedLoops = R"(
+_start: movi d5, 10
+        movi d1, 0
+outer:  movi d0, 20
+inner:  add d1, d1, d0
+        xor d2, d1, d5
+        addi16 d0, -1
+        jnz16 d0, inner
+        addi16 d5, -1
+        jnz16 d5, outer
+        movi d3, 99
+        halt
+)";
+
+void expectSameState(iss::Iss& a, iss::Iss& b) {
+  EXPECT_EQ(a.pc(), b.pc());
+  EXPECT_EQ(a.stats().instructions, b.stats().instructions);
+  EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+  EXPECT_EQ(a.stats().pipeline_cycles, b.stats().pipeline_cycles);
+  EXPECT_EQ(a.stats().branch_extra, b.stats().branch_extra);
+  EXPECT_EQ(a.stats().cache_penalty, b.stats().cache_penalty);
+  EXPECT_EQ(a.stats().blocks, b.stats().blocks);
+  EXPECT_EQ(a.stats().icache_accesses, b.stats().icache_accesses);
+  EXPECT_EQ(a.stats().icache_misses, b.stats().icache_misses);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.d(i), b.d(i)) << "d" << i;
+    EXPECT_EQ(a.a(i), b.a(i)) << "a" << i;
+  }
+}
+
+TEST(ChainedDispatch, ChainsSuccessorsWithoutLookups) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::IssConfig cfg;
+  cfg.dispatch_mode = iss::DispatchMode::kChained;
+  iss::Iss iss(defaultArch(), obj, nullptr, cfg);
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  // 10 outer x 20 inner iterations: nearly every dispatch resolves
+  // through a chained edge; no traces in kChained mode.
+  EXPECT_GT(iss.stats().chain_hits, 200u);
+  EXPECT_EQ(iss.stats().trace_dispatches, 0u);
+  EXPECT_EQ(iss.stats().cached_blocks, iss.stats().blocks);
+
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(iss, slow);
+}
+
+TEST(TraceDispatch, FormsHotTracesAndStaysExact) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  EXPECT_GT(iss.stats().trace_dispatches, 0u);
+  EXPECT_GT(iss.stats().trace_blocks, iss.stats().trace_dispatches);
+  // Every inner-loop exit leaves the unrolled trace through a failing
+  // guard (the backedge finally falls through).
+  EXPECT_GT(iss.stats().guard_bails, 0u);
+
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(iss, slow);
+
+  // Hot-block accounting attributes the inner block's dispatches to
+  // trace execution.
+  const auto hot = iss.hotBlocks(1);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0].exec_count, 200u);
+  EXPECT_GT(hot[0].trace_execs, 0u);
+}
+
+TEST(TraceDispatch, NearBalancedBranchesDoNotSpliceButStayExact) {
+  // The branch alternates taken/not-taken, so neither outcome ever
+  // dominates 4:1 and the trace must not speculate through it; the run
+  // still has to be bit-exact whatever the builder decides.
+  const char* kAlternating = R"(
+_start: movi d0, 200
+        movi d1, 0
+        movi d2, 0
+loop:   xor d1, d1, d0
+        and d3, d1, d0
+        jnz16 d3, skip
+        addi16 d2, 1
+skip:   addi16 d0, -1
+        jnz16 d0, loop
+        halt
+)";
+  const elf::Object obj = trc::assemble(kAlternating);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(iss, slow);
+}
+
+TEST(TraceDispatch, IndirectJumpIntoTraceInteriorLeader) {
+  // After the loop gets hot (trace formed over [body, body, ...]), an
+  // indirect jump re-enters the loop body — an interior trace segment —
+  // through the plain lookup path.
+  const char* kProgram = R"(
+_start: movi d5, 3
+again:  movi d0, 30
+body:   add d1, d1, d0
+        addi16 d0, -1
+        jnz16 d0, body
+        addi16 d5, -1
+        jz16 d5, done
+        movha a2, hi(body)
+        lea a2, a2, lo(body)
+        movi d0, 15
+        ji a2
+done:   halt
+)";
+  const elf::Object obj = trc::assemble(kProgram);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  EXPECT_GT(iss.stats().trace_dispatches, 0u);
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(iss, slow);
+}
+
+TEST(TraceDispatch, IndirectJumpIntoBlockMiddleFallsBack) {
+  // The indirect target is *not* a leader: per-instruction semantics
+  // keep the open block across the jump, so the dispatcher must re-warm
+  // the stepping engine even while the containing block is part of a
+  // hot trace.
+  const char* kProgram = R"(
+_start: movi d5, 3
+again:  movi d0, 30
+body:   add d1, d1, d0
+mid:    xor d2, d1, d5
+        addi16 d0, -1
+        jnz16 d0, body
+        addi16 d5, -1
+        jz16 d5, done
+        movha a2, hi(mid)
+        lea a2, a2, lo(mid)
+        movi d0, 1
+        ji a2
+done:   halt
+)";
+  const elf::Object obj = trc::assemble(kProgram);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  EXPECT_GT(iss.stats().trace_dispatches, 0u);
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(iss, slow);
+}
+
+TEST(TraceDispatch, InstructionLimitStopsExactlyInsideHotTrace) {
+  // The limit falls mid-way through what the trace engine executes as
+  // superblocks: the engine must refuse whole traces/blocks that would
+  // overshoot and step up to the precise instruction, like the
+  // stepping engine.
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  for (const uint64_t limit : {57u, 100u, 333u, 801u}) {
+    SCOPED_TRACE("limit " + std::to_string(limit));
+    iss::IssConfig fast_cfg = traceConfig();
+    fast_cfg.max_instructions = limit;
+    iss::Iss fast(defaultArch(), obj, nullptr, fast_cfg);
+    EXPECT_EQ(fast.run(), iss::StopReason::kMaxInstructions);
+    iss::IssConfig slow_cfg = steppingConfig();
+    slow_cfg.max_instructions = limit;
+    iss::Iss slow(defaultArch(), obj, nullptr, slow_cfg);
+    EXPECT_EQ(slow.run(), iss::StopReason::kMaxInstructions);
+    EXPECT_EQ(fast.stats().instructions, limit);
+    expectSameState(fast, slow);
+  }
+}
+
+TEST(TraceDispatch, QuantumSlicesYieldAtIdenticalBoundaries) {
+  // runUntil must yield at the same block boundaries with the same
+  // local time whether blocks run stepped, chained or inside traces —
+  // including yields at trace-internal boundaries.
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss fast(defaultArch(), obj, nullptr, traceConfig());
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  std::vector<std::pair<uint64_t, uint32_t>> fast_yields;
+  std::vector<std::pair<uint64_t, uint32_t>> slow_yields;
+  for (uint64_t t = 25;; t += 25) {
+    const iss::StopReason r = fast.runUntil(t);
+    if (r != iss::StopReason::kCycleLimit) {
+      ASSERT_EQ(r, iss::StopReason::kHalted);
+      break;
+    }
+    fast_yields.push_back({fast.localTime(), fast.pc()});
+  }
+  for (uint64_t t = 25;; t += 25) {
+    const iss::StopReason r = slow.runUntil(t);
+    if (r != iss::StopReason::kCycleLimit) {
+      ASSERT_EQ(r, iss::StopReason::kHalted);
+      break;
+    }
+    slow_yields.push_back({slow.localTime(), slow.pc()});
+  }
+  EXPECT_GT(fast.stats().trace_dispatches, 0u);
+  EXPECT_EQ(fast_yields, slow_yields);
+  expectSameState(fast, slow);
+}
+
+TEST(BreakpointFlags, BreakpointInTraceInteriorStopsExactly) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  // Heat the loop until traces dominate, then plant a breakpoint
+  // mid-way inside the (trace-interior) inner block.
+  iss::IssConfig probe_cfg = traceConfig();
+  iss::Iss counter(defaultArch(), obj, nullptr, probe_cfg);
+  ASSERT_EQ(counter.run(), iss::StopReason::kHalted);
+  ASSERT_GT(counter.stats().trace_dispatches, 0u);
+
+  const uint32_t bp = 0x80000010;  // 'xor' inside the inner block
+  iss.addBreakpoint(bp);
+  uint64_t stops = 0;
+  while (iss.run() == iss::StopReason::kDebugBreak) {
+    EXPECT_EQ(iss.pc(), bp);
+    ++stops;
+    ASSERT_LT(stops, 1000u);
+  }
+  EXPECT_EQ(iss.stopReason(), iss::StopReason::kHalted);
+  EXPECT_EQ(stops, 200u);  // every inner iteration crosses it
+
+  // Breakpoints perturb nothing: final state equals an unbroken run.
+  iss::Iss ref(defaultArch(), obj, nullptr, traceConfig());
+  ASSERT_EQ(ref.run(), iss::StopReason::kHalted);
+  expectSameState(iss, ref);
+}
+
+TEST(BreakpointFlags, DeclinedFormationRetriesAfterBreakpointRemoval) {
+  // The hot block's dominant successor carries a breakpoint when the
+  // head first crosses the trace threshold, so formation is declined.
+  // A decline must not be permanent: after the breakpoint is removed,
+  // the geometric-backoff retry forms the trace and the rest of the
+  // run dispatches superblocks.
+  const char* kProgram = R"(
+_start: movi d5, 400
+        movi d4, 0
+loop:   add d1, d1, d5
+        jnz16 d4, off
+body:   addi16 d5, -1
+        jnz16 d5, loop
+        halt
+off:    halt
+)";
+  const elf::Object obj = trc::assemble(kProgram);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  ASSERT_NE(obj.findSymbol("body"), nullptr);
+  const uint32_t body = obj.findSymbol("body")->value;
+  iss.addBreakpoint(body);
+  for (int stops = 0; stops < 20; ++stops) {
+    ASSERT_EQ(iss.run(), iss::StopReason::kDebugBreak);
+    ASSERT_EQ(iss.pc(), body);
+  }
+  EXPECT_EQ(iss.stats().trace_dispatches, 0u);
+  iss.removeBreakpoint(body);
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  EXPECT_GT(iss.stats().trace_dispatches, 0u);
+
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(iss, slow);
+}
+
+TEST(BreakpointFlags, AddAndRemoveMidRunTogglesTraceUse) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss iss(defaultArch(), obj, nullptr, traceConfig());
+  const uint32_t bp = 0x80000010;
+
+  // Phase 1: hot, traces active.
+  iss::IssConfig limit_cfg = traceConfig();
+  limit_cfg.max_instructions = 300;
+  iss::Iss probe(defaultArch(), obj, nullptr, limit_cfg);
+  EXPECT_EQ(probe.run(), iss::StopReason::kMaxInstructions);
+  EXPECT_GT(probe.stats().trace_dispatches, 0u);
+
+  // Phase 2: planting the breakpoint stops trace/block dispatch of the
+  // flagged block; removing it restores full-speed dispatch and the
+  // run completes identically to the never-broken reference.
+  ASSERT_EQ(iss.run() == iss::StopReason::kHalted, true);
+  iss::Iss broken(defaultArch(), obj, nullptr, traceConfig());
+  broken.addBreakpoint(bp);
+  ASSERT_EQ(broken.run(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(broken.pc(), bp);
+  broken.removeBreakpoint(bp);
+  const uint64_t traces_before = broken.stats().trace_dispatches;
+  ASSERT_EQ(broken.run(), iss::StopReason::kHalted);
+  EXPECT_GT(broken.stats().trace_dispatches, traces_before);
+  expectSameState(broken, iss);
+}
+
+}  // namespace
+}  // namespace cabt

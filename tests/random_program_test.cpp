@@ -167,43 +167,72 @@ TEST_P(RandomPrograms, AllVehiclesAgree) {
   ref.enableBlockTrace(true);
   ASSERT_EQ(ref.run(), iss::StopReason::kHalted);
 
-  // Block-cached execution (the run() default) must match per-instruction
-  // stepping instruction-for-instruction and cycle-for-cycle: identical
-  // stats, registers and per-block timing records.
-  {
-    iss::IssConfig slow_cfg;
-    slow_cfg.use_block_cache = false;
-    iss::Iss slow(desc, obj, nullptr, slow_cfg);
-    slow.enableBlockTrace(true);
-    ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
-    EXPECT_EQ(slow.stats().instructions, ref.stats().instructions);
-    EXPECT_EQ(slow.stats().cycles, ref.stats().cycles);
-    EXPECT_EQ(slow.stats().pipeline_cycles, ref.stats().pipeline_cycles);
-    EXPECT_EQ(slow.stats().branch_extra, ref.stats().branch_extra);
-    EXPECT_EQ(slow.stats().cache_penalty, ref.stats().cache_penalty);
-    EXPECT_EQ(slow.stats().blocks, ref.stats().blocks);
-    EXPECT_EQ(slow.stats().icache_accesses, ref.stats().icache_accesses);
-    EXPECT_EQ(slow.stats().icache_misses, ref.stats().icache_misses);
-    EXPECT_EQ(slow.stats().cond_branches, ref.stats().cond_branches);
-    EXPECT_EQ(slow.stats().cond_taken, ref.stats().cond_taken);
-    EXPECT_EQ(slow.stats().mispredicts, ref.stats().mispredicts);
-    EXPECT_EQ(slow.pc(), ref.pc());
+  // Every dispatch engine must match the reference (the run() default:
+  // chained + traces) instruction-for-instruction and cycle-for-cycle:
+  // identical stats, registers and per-block timing records. The
+  // stepping engine is the ground truth; the lookup and chained-only
+  // block engines, and a low-threshold trace engine (superblocks form
+  // after two dispatches, so every loop exercises guarded traces), all
+  // have to agree bit-exactly.
+  const auto compareEngines = [&](iss::IssConfig cfg, const char* label,
+                                  bool expect_cached) {
+    SCOPED_TRACE(label);
+    iss::Iss other(desc, obj, nullptr, cfg);
+    other.enableBlockTrace(true);
+    ASSERT_EQ(other.run(), iss::StopReason::kHalted);
+    EXPECT_EQ(other.stats().instructions, ref.stats().instructions);
+    EXPECT_EQ(other.stats().cycles, ref.stats().cycles);
+    EXPECT_EQ(other.stats().pipeline_cycles, ref.stats().pipeline_cycles);
+    EXPECT_EQ(other.stats().branch_extra, ref.stats().branch_extra);
+    EXPECT_EQ(other.stats().cache_penalty, ref.stats().cache_penalty);
+    EXPECT_EQ(other.stats().blocks, ref.stats().blocks);
+    EXPECT_EQ(other.stats().icache_accesses, ref.stats().icache_accesses);
+    EXPECT_EQ(other.stats().icache_misses, ref.stats().icache_misses);
+    EXPECT_EQ(other.stats().cond_branches, ref.stats().cond_branches);
+    EXPECT_EQ(other.stats().cond_taken, ref.stats().cond_taken);
+    EXPECT_EQ(other.stats().mispredicts, ref.stats().mispredicts);
+    EXPECT_EQ(other.pc(), ref.pc());
     for (int i = 0; i < 16; ++i) {
-      EXPECT_EQ(slow.d(i), ref.d(i)) << "d" << i;
-      EXPECT_EQ(slow.a(i), ref.a(i)) << "a" << i;
+      EXPECT_EQ(other.d(i), ref.d(i)) << "d" << i;
+      EXPECT_EQ(other.a(i), ref.a(i)) << "a" << i;
     }
-    ASSERT_EQ(slow.blockTrace().size(), ref.blockTrace().size());
-    for (size_t i = 0; i < slow.blockTrace().size(); ++i) {
-      const iss::BlockRecord& s = slow.blockTrace()[i];
+    ASSERT_EQ(other.blockTrace().size(), ref.blockTrace().size());
+    for (size_t i = 0; i < other.blockTrace().size(); ++i) {
+      const iss::BlockRecord& s = other.blockTrace()[i];
       const iss::BlockRecord& f = ref.blockTrace()[i];
       EXPECT_EQ(s.addr, f.addr) << "block " << i;
       EXPECT_EQ(s.pipeline_cycles, f.pipeline_cycles) << "block " << i;
       EXPECT_EQ(s.branch_extra, f.branch_extra) << "block " << i;
       EXPECT_EQ(s.cache_penalty, f.cache_penalty) << "block " << i;
     }
-    // Every block of a leader-entered program runs from the cache.
-    EXPECT_EQ(ref.stats().cached_blocks, ref.stats().blocks);
-    EXPECT_EQ(slow.stats().cached_blocks, 0u);
+    if (expect_cached) {
+      // Every block of a leader-entered program runs from the cache.
+      EXPECT_EQ(other.stats().cached_blocks, other.stats().blocks);
+    } else {
+      EXPECT_EQ(other.stats().cached_blocks, 0u);
+    }
+  };
+  EXPECT_EQ(ref.stats().cached_blocks, ref.stats().blocks);
+  {
+    iss::IssConfig cfg;
+    cfg.use_block_cache = false;
+    compareEngines(cfg, "stepping", false);
+  }
+  {
+    iss::IssConfig cfg;
+    cfg.dispatch_mode = iss::DispatchMode::kLookup;
+    compareEngines(cfg, "lookup", true);
+  }
+  {
+    iss::IssConfig cfg;
+    cfg.dispatch_mode = iss::DispatchMode::kChained;
+    compareEngines(cfg, "chained", true);
+  }
+  {
+    iss::IssConfig cfg;
+    cfg.dispatch_mode = iss::DispatchMode::kChainedTraces;
+    cfg.trace_threshold = 2;
+    compareEngines(cfg, "traces(threshold=2)", true);
   }
 
   // RT-level model: exact cycle agreement.

@@ -209,14 +209,35 @@ struct ScenarioRun {
   uint32_t d14 = 0;
 };
 
-ScenarioRun runIrqTicks(bool use_block_cache, sim::Cycle quantum,
+/// Engine variants crossed with the IRQ scenario: stepping, the lookup
+/// and chained block engines, and the trace engine with a threshold low
+/// enough that the spin-wait loop forms superblocks almost immediately
+/// (so interrupts routinely arrive at trace-internal boundaries and
+/// redirect control off a speculated guard).
+struct EngineVariant {
+  const char* name;
+  bool use_block_cache;
+  iss::DispatchMode mode;
+  uint32_t trace_threshold;
+};
+
+constexpr EngineVariant kEngineVariants[] = {
+    {"stepping", false, iss::DispatchMode::kLookup, 64},
+    {"lookup", true, iss::DispatchMode::kLookup, 64},
+    {"chained", true, iss::DispatchMode::kChained, 64},
+    {"traces", true, iss::DispatchMode::kChainedTraces, 2},
+};
+
+ScenarioRun runIrqTicks(const EngineVariant& engine, sim::Cycle quantum,
                         xlat::DetailLevel level = xlat::DetailLevel::kICache) {
   const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
   const workloads::Workload& w = workloads::get("irq_ticks");
   const elf::Object obj = workloads::assemble(w);
   platform::BoardConfig cfg;
   cfg.iss = platform::issConfigFor(level);
-  cfg.iss.use_block_cache = use_block_cache;
+  cfg.iss.use_block_cache = engine.use_block_cache;
+  cfg.iss.dispatch_mode = engine.mode;
+  cfg.iss.trace_threshold = engine.trace_threshold;
   cfg.iss.extra_leaders = {platform::symbolAddr(obj, w.irq_handler)};
   cfg.quantum = quantum;
   platform::ReferenceBoard board(desc, {&obj}, cfg);
@@ -250,42 +271,54 @@ void expectIdentical(const ScenarioRun& a, const ScenarioRun& b) {
 }
 
 TEST(InterruptDriven, WorkloadRetiresWithExpectedChecksum) {
-  const ScenarioRun r = runIrqTicks(true, 1024);
+  const ScenarioRun r = runIrqTicks(kEngineVariants[3], 1024);
   EXPECT_EQ(r.checksum, 164u);
   EXPECT_EQ(r.d14, 8u);
   EXPECT_EQ(r.stats.irqs_taken, 8u);
   EXPECT_EQ(r.irqs_delivered, 8u);
   EXPECT_GE(r.timer_expiries, 8u);
   EXPECT_GT(r.stats.irq_entry_cycles, 0u);
+  // The spin-wait loop really did run as guarded superblocks, and
+  // interrupts really did bail traces at internal boundaries.
+  EXPECT_GT(r.stats.trace_dispatches, 0u);
+  EXPECT_GT(r.stats.guard_bails, 0u);
 }
 
-// The step()-fallback proof: the block-dispatch engine and pure
-// per-instruction execution take all 8 interrupts at identical cycle
-// counts and retire identically.
-TEST(InterruptDriven, BlockEngineAndSteppingTakeIrqsIdentically) {
+// The step()-fallback proof: every dispatch engine — lookup, chained and
+// the trace engine included — and pure per-instruction execution take
+// all 8 interrupts at identical cycle counts and retire identically.
+TEST(InterruptDriven, AllDispatchEnginesTakeIrqsIdentically) {
   for (const xlat::DetailLevel level :
        {xlat::DetailLevel::kFunctional, xlat::DetailLevel::kStatic,
         xlat::DetailLevel::kBranchPredict, xlat::DetailLevel::kICache}) {
     SCOPED_TRACE(xlat::detailLevelName(level));
-    const ScenarioRun fast = runIrqTicks(true, 1024, level);
-    const ScenarioRun slow = runIrqTicks(false, 1024, level);
-    expectIdentical(fast, slow);
-    EXPECT_EQ(fast.checksum, 164u);
+    const ScenarioRun slow = runIrqTicks(kEngineVariants[0], 1024, level);
+    EXPECT_EQ(slow.checksum, 164u);
+    for (size_t v = 1; v < std::size(kEngineVariants); ++v) {
+      SCOPED_TRACE(kEngineVariants[v].name);
+      expectIdentical(runIrqTicks(kEngineVariants[v], 1024, level), slow);
+    }
   }
 }
 
 // Exact temporal-decoupling invariance: with one initiator, the quantum
 // slices host execution but never behaviour — final SoC cycle and all
-// state are bit-identical for quantum 1, 16, 256 and 4096.
+// state are bit-identical for quantum 1, 16, 256 and 4096, for the
+// chained and trace engines alike (a quantum boundary may now fall on a
+// trace-internal block boundary and must yield there).
 TEST(InterruptDriven, GeneratedCyclesAreQuantumInvariant) {
-  const ScenarioRun base = runIrqTicks(true, 1);
+  const ScenarioRun base = runIrqTicks(kEngineVariants[2], 1);
   EXPECT_EQ(base.checksum, 164u);
   for (const sim::Cycle quantum : {16u, 256u, 4096u}) {
     SCOPED_TRACE("quantum " + std::to_string(quantum));
-    expectIdentical(base, runIrqTicks(true, quantum));
+    expectIdentical(base, runIrqTicks(kEngineVariants[2], quantum));
+  }
+  for (const sim::Cycle quantum : {1u, 16u, 256u, 4096u}) {
+    SCOPED_TRACE("trace engine, quantum " + std::to_string(quantum));
+    expectIdentical(base, runIrqTicks(kEngineVariants[3], quantum));
   }
   // The stepping engine is quantum-invariant too, and agrees.
-  expectIdentical(base, runIrqTicks(false, 4096));
+  expectIdentical(base, runIrqTicks(kEngineVariants[0], 4096));
 }
 
 // A breakpoint on the interrupt handler entry must hit on every
