@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -76,9 +77,27 @@ struct VariantRun {
   }
 };
 
+/// Resolves where a bench output file goes: the CABT_BENCH_DIR
+/// directory when set (so parallel ctest/bench invocations from
+/// different working trees cannot clobber each other's records), the
+/// current working directory otherwise. Every bench artefact must route
+/// through this helper.
+inline std::string benchOutputPath(const std::string& filename) {
+  const char* dir = std::getenv("CABT_BENCH_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return filename;
+  }
+  std::string path(dir);
+  if (path.back() != '/') {
+    path += '/';
+  }
+  return path + filename;
+}
+
 /// Machine-readable perf record. Every bench writes BENCH_<name>.json
-/// into the working directory — one row per (workload, variant) with the
-/// modeled cycle count and the host-side simulation speed — so the perf
+/// next to the working directory (or into CABT_BENCH_DIR when set — see
+/// benchOutputPath) — one row per (workload, variant) with the modeled
+/// cycle count and the host-side simulation speed — so the perf
 /// trajectory is tracked across PRs by diffing the JSON files.
 class JsonReport {
  public:
@@ -104,7 +123,7 @@ class JsonReport {
   /// Writes BENCH_<name>.json; failures are reported but non-fatal (a
   /// read-only working directory must not kill the bench).
   void write() const {
-    const std::string path = "BENCH_" + bench_name_ + ".json";
+    const std::string path = benchOutputPath("BENCH_" + bench_name_ + ".json");
     std::ofstream out(path);
     if (!out) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

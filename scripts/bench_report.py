@@ -2,19 +2,26 @@
 """Aggregate BENCH_*.json perf records into one markdown summary.
 
 Every bench binary writes a BENCH_<name>.json next to its working
-directory (one row per workload/variant, with host MIPS and — for ISS
-rows — the dispatch-path counters). This script collects them into a
-single BENCH_SUMMARY.md artifact and gates the dispatch ablation:
-chained dispatch must not be slower than per-block lookup dispatch.
+directory — or into $CABT_BENCH_DIR when set (one row per
+workload/variant, with host MIPS and — for ISS rows — the dispatch-path
+counters). This script collects them into a single BENCH_SUMMARY.md
+artifact and enforces two gates:
+
+  * dispatch ablation — chained dispatch must not be slower than
+    per-block lookup dispatch;
+  * parallel rounds — on every BENCH_parallel_cores.json row with
+    quantum >= 256, the parallel kernel must not fall below the
+    sequential kernel (at smaller quanta the round barrier is expected
+    to dominate; that region is reported but not gated).
 
 Usage:
     scripts/bench_report.py [--dir DIR] [--out BENCH_SUMMARY.md]
-                            [--min-ratio 0.9]
+                            [--min-ratio 0.9] [--min-parallel-ratio 0.85]
 
-Exit status 1 when the gate fails (or the ablation record is missing
-while --require-ablation is set). The default --min-ratio of 0.9 gives
-shared CI runners 10% of scheduling noise; a real chaining regression
-shows up far below that (chained runs >1.5x lookup on a quiet machine).
+Exit status 1 when a gate fails (or a required record is missing while
+--require-ablation / --require-parallel is set). The default ratios give
+shared CI runners scheduling-noise headroom; real regressions show up
+far below them.
 """
 
 import argparse
@@ -111,6 +118,49 @@ def check_dispatch_gate(records, min_ratio):
     return compared, failures
 
 
+def check_parallel_gate(records, min_ratio, min_quantum=256):
+    """parallel must reach min_ratio x the sequential host MIPS per row,
+    for every quantum >= min_quantum.
+
+    Returns (compared_pairs, failures), or None when there is no
+    parallel-cores record at all. Like the dispatch gate, zero compared
+    pairs means the record's variant naming drifted and must fail.
+    """
+    rows = records.get("parallel_cores")
+    if rows is None:
+        return None
+    by_key = {}
+    for r in rows:
+        variant = r.get("variant", "")
+        if "/" not in variant:
+            continue
+        mode, quantum_tag = variant.split("/", 1)
+        if not quantum_tag.startswith("quantum_"):
+            continue
+        try:
+            quantum = int(quantum_tag[len("quantum_"):])
+        except ValueError:
+            continue
+        by_key[(r.get("workload"), quantum, mode)] = r.get("host_mips", 0.0)
+    compared = 0
+    failures = []
+    for (workload, quantum, mode), seq_mips in sorted(by_key.items()):
+        if mode != "seq" or quantum < min_quantum:
+            continue
+        par_mips = by_key.get((workload, quantum, "par"))
+        if par_mips is None or seq_mips <= 0:
+            continue
+        compared += 1
+        ratio = par_mips / seq_mips
+        if ratio < min_ratio:
+            failures.append(
+                f"{workload}/quantum_{quantum}: parallel {par_mips:.2f} "
+                f"MIPS vs sequential {seq_mips:.2f} MIPS (ratio "
+                f"{ratio:.2f} < {min_ratio:.2f})"
+            )
+    return compared, failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", default=".", help="where BENCH_*.json live")
@@ -122,9 +172,21 @@ def main():
         help="minimum chained/lookup host-MIPS ratio (noise tolerance)",
     )
     parser.add_argument(
+        "--min-parallel-ratio",
+        type=float,
+        default=0.85,
+        help="minimum parallel/sequential host-MIPS ratio at quantum >= "
+        "256 (noise tolerance; single-threaded runners sit near 1.0)",
+    )
+    parser.add_argument(
         "--require-ablation",
         action="store_true",
         help="fail when BENCH_ablation_dispatch.json is absent",
+    )
+    parser.add_argument(
+        "--require-parallel",
+        action="store_true",
+        help="fail when BENCH_parallel_cores.json is absent",
     )
     args = parser.parse_args()
 
@@ -136,34 +198,50 @@ def main():
         f.write(render_summary(records))
     print(f"wrote {args.out} ({len(records)} bench records)")
 
-    gate = check_dispatch_gate(records, args.min_ratio)
-    if gate is None:
-        if args.require_ablation:
+    dispatch_gate = {
+        "name": "dispatch",
+        "gate": check_dispatch_gate(records, args.min_ratio),
+        "required": args.require_ablation,
+        "record": "BENCH_ablation_dispatch.json",
+        "empty": "no lookup/chained pairs",
+        "passed": "chained >= lookup on {n} workload/level rows",
+    }
+    parallel_gate = {
+        "name": "parallel",
+        "gate": check_parallel_gate(records, args.min_parallel_ratio),
+        "required": args.require_parallel,
+        "record": "BENCH_parallel_cores.json",
+        "empty": "no seq/par pairs at quantum >= 256",
+        "passed": "parallel >= sequential on {n} board/quantum rows "
+        "(quantum >= 256)",
+    }
+    status = 0
+    for g in (dispatch_gate, parallel_gate):
+        if g["gate"] is None:
+            if g["required"]:
+                print(f"error: {g['record']} missing", file=sys.stderr)
+                status = 1
+            else:
+                print(f"note: no {g['name']} record; gate skipped")
+            continue
+        compared, failures = g["gate"]
+        if compared == 0:
             print(
-                "error: BENCH_ablation_dispatch.json missing",
+                f"error: {g['record']} held {g['empty']} — variant "
+                "naming drifted?",
                 file=sys.stderr,
             )
-            return 1
-        print("note: no dispatch-ablation record; gate skipped")
-        return 0
-    compared, failures = gate
-    if compared == 0:
-        print(
-            "error: dispatch-ablation record held no lookup/chained "
-            "pairs — variant naming drifted?",
-            file=sys.stderr,
-        )
-        return 1
-    if failures:
-        print("dispatch gate FAILED:", file=sys.stderr)
-        for f_ in failures:
-            print(f"  {f_}", file=sys.stderr)
-        return 1
-    print(
-        f"dispatch gate passed: chained >= lookup on {compared} "
-        "workload/level rows"
-    )
-    return 0
+            status = 1
+        elif failures:
+            print(f"{g['name']} gate FAILED:", file=sys.stderr)
+            for f_ in failures:
+                print(f"  {f_}", file=sys.stderr)
+            status = 1
+        else:
+            print(
+                f"{g['name']} gate passed: " + g["passed"].format(n=compared)
+            )
+    return status
 
 
 if __name__ == "__main__":

@@ -94,6 +94,13 @@ void Iss::syncBusClock() {
   if (bus_ == nullptr) {
     return;
   }
+  if (private_mode_) {
+    // Private slice: the advance is recorded, not performed — the shared
+    // clock must only move at this core's sequential dispatch slot.
+    // Monotone per core, so the latest time subsumes the earlier ones.
+    deferred_advance_ = localTime();
+    return;
+  }
   // Lazy time advancement: devices jump to this core's local time in one
   // call. With decoupled initiators sharing the bus the call is a no-op
   // when another core already advanced it further (LT skew, bounded by
@@ -101,8 +108,73 @@ void Iss::syncBusClock() {
   bus_->advanceTo(localTime());
 }
 
+void Iss::beginPrivateSlice() {
+  CABT_CHECK(!private_mode_, "private slice already open");
+  private_mode_ = true;
+  bailed_shared_ = false;
+  skipped_samples_ = 0;
+  deferred_advance_ = 0;
+  ++stats_.private_slices;
+}
+
+bool Iss::commitPrivateSlice() {
+  CABT_CHECK(private_mode_, "no private slice open");
+  private_mode_ = false;
+  // The certificate (IrqSource::quiescent) justified skipping the
+  // boundary samples; only a cross-core write to *this* core's interrupt
+  // controller could have revoked it since — an access pattern the
+  // parallel contract forbids. Fail loudly rather than diverge silently.
+  if (skipped_samples_ > 0) {
+    CABT_CHECK(irq_ != nullptr && irq_->quiescent(),
+               "private-slice certificate revoked mid-round (cross-core "
+               "interrupt-controller write?)");
+  }
+  if (bus_ != nullptr && deferred_advance_ > 0) {
+    bus_->advanceTo(deferred_advance_);
+  }
+  const bool bailed = bailed_shared_;
+  bailed_shared_ = false;
+  if (bailed) {
+    ++stats_.private_bails;
+  }
+  return bailed;
+}
+
+bool Iss::touchesShared(const trc::Instr& in) const {
+  if (bus_ == nullptr) {
+    return false;
+  }
+  switch (in.opc) {
+    case Opc::kLdw:
+    case Opc::kLdh:
+    case Opc::kLdhu:
+    case Opc::kLdb:
+    case Opc::kLdbu:
+    case Opc::kLda:
+    case Opc::kStw:
+    case Opc::kSth:
+    case Opc::kStb:
+    case Opc::kSta:
+      // Every TRC32 memory instruction addresses a_[ra] + imm, so the
+      // effective address is computable without executing anything.
+      return bus_->covers(a_[in.ra] + static_cast<uint32_t>(in.imm));
+    default:
+      return false;
+  }
+}
+
 void Iss::maybeTakeIrq() {
   if (irq_ == nullptr || stop_ != StopReason::kRunning) {
+    return;
+  }
+  if (private_mode_) {
+    // The quiescence certificate taken at privateSliceReady() guarantees
+    // this sample returns nullopt whatever was raised meanwhile, and
+    // stays valid until one of this core's own (bailing) bus writes.
+    // Only its bus-clock advance is observable — record it for replay at
+    // the sequential dispatch slot.
+    ++skipped_samples_;
+    syncBusClock();  // records the deferred advance in private mode
     return;
   }
   syncBusClock();  // interrupt state is sampled at this core's local time
@@ -209,6 +281,13 @@ StopReason Iss::step() {
     return stop_;
   }
   const Instr& instr = fetch(pc_);
+  if (private_mode_ && touchesShared(instr)) {
+    // Private-slice bail, before any of this step's state changes: the
+    // pc rests on the offending instruction and the sequential drain
+    // re-enters step() with a bit-identical core.
+    bailed_shared_ = true;
+    return StopReason::kCycleLimit;  // stop_ stays kRunning: resumable
+  }
 
   if (config_.model_timing) {
     if (!in_block_ || isLeader(pc_)) {
@@ -272,7 +351,31 @@ void Iss::dispatchBlock(core::ExecBlock& block) {
   }
 }
 
-template <bool Timing, bool ICache, bool BranchX>
+template <bool Timing, bool ICache>
+void Iss::bailOutOfBlockT(core::ExecBlock& block, size_t i) {
+  bailed_shared_ = true;
+  // Instructions [0, i) executed; pc_ already rests on instruction i
+  // (interior instructions are straight-line by block construction).
+  // Rebuild the stepping engine's warm view so the drain's step()
+  // resumes mid-block bit-exactly: replayed issue schedule, live_pipe_
+  // at the partial block's cost, line tracking at instruction i-1 (the
+  // icache touch for instruction i has not happened yet — step() will
+  // perform it iff i starts a new consecutive line, which is exactly
+  // the block cache's precomputed new_line rule).
+  if constexpr (Timing) {
+    timer_.reset();
+    for (size_t j = 0; j < i; ++j) {
+      timer_.issue(block.instrs[j].timedOp());
+    }
+    live_pipe_ = timer_.cycles();
+    if constexpr (ICache) {
+      have_line_ = true;
+      last_line_ = desc_.icache.lineOf(block.instrs[i - 1].addr);
+    }
+  }
+}
+
+template <bool Timing, bool ICache, bool BranchX, bool Bail>
 void Iss::dispatchBlockT(core::ExecBlock& block) {
   ++block.exec_count;
   ++stats_.cached_blocks;
@@ -290,6 +393,13 @@ void Iss::dispatchBlockT(core::ExecBlock& block) {
   const size_t n = block.instrs.size();
   for (size_t i = 0; i < n; ++i) {
     const Instr& instr = instrs[i];
+    if constexpr (Bail) {
+      // i == 0 was tested by the caller before the block bookkeeping.
+      if (i > 0 && touchesShared(instr)) {
+        bailOutOfBlockT<Timing, ICache>(block, i);
+        return;
+      }
+    }
     if constexpr (ICache) {
       if (new_line[i] != 0) {
         icacheAccessTagged(line_set[i], line_tag[i]);
@@ -427,7 +537,7 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
   }
 }
 
-template <bool Timing, bool ICache, bool BranchX>
+template <bool Timing, bool ICache, bool BranchX, bool Bail>
 StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
   core::BlockCache& cache = blockCache();
   std::vector<core::ExecBlock>& blocks = cache.blocks();
@@ -439,6 +549,11 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
     if (stats_.instructions >= config_.max_instructions) {
       stop_ = StopReason::kMaxInstructions;
       break;
+    }
+    if constexpr (Bail) {
+      if (bailed_shared_) {
+        return StopReason::kCycleLimit;  // set by the step() fallback
+      }
     }
     core::ExecBlock* block =
         next_idx >= 0 ? &blocks[static_cast<size_t>(next_idx)] : nullptr;
@@ -489,6 +604,16 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
       step();
       continue;
     }
+    if constexpr (Bail) {
+      // First instruction of the block, tested before any block-entry
+      // bookkeeping: on a bail here the drain re-dispatches the whole
+      // block from scratch. Interior instructions are tested inside
+      // dispatchBlockT, which repairs the half-executed block instead.
+      if (touchesShared(block->instrs[0])) {
+        bailed_shared_ = true;
+        return StopReason::kCycleLimit;
+      }
+    }
     if (via_chain) {
       // Counted only for dispatches that actually go through the cache
       // (not chained arrivals refused for breakpoints or budget), so
@@ -525,7 +650,14 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
         }
       }
     }
-    dispatchBlockT<Timing, ICache, BranchX>(*block);
+    dispatchBlockT<Timing, ICache, BranchX, Bail>(*block);
+    if constexpr (Bail) {
+      if (bailed_shared_) {
+        // Mid-block bail: the block did not retire — the stepping view
+        // is warm (bailOutOfBlockT) and the drain resumes via step().
+        return StopReason::kCycleLimit;
+      }
+    }
     next_idx = afterBlock<Timing>(*block);
   }
   return stop_;
@@ -551,26 +683,40 @@ StopReason Iss::runLoop(uint64_t time_limit) {
         return StopReason::kCycleLimit;
       }
       step();
+      if (bailed_shared_) {
+        return StopReason::kCycleLimit;  // private-slice shared touch
+      }
     }
     return stop_;
+  }
+  if (private_mode_) {
+    // Private slices always run the Bail-instrumented chained engine
+    // (without trace formation), whatever dispatch_mode says: all
+    // engines are architecturally bit-identical, and the sequential
+    // drain finishes the slice on the configured engine.
+    return selectChainedT<true>(time_limit, /*traces=*/false);
   }
   if (config_.dispatch_mode == DispatchMode::kLookup) {
     return runLoopLookup(time_limit);
   }
-  const bool traces = config_.dispatch_mode == DispatchMode::kChainedTraces;
+  return selectChainedT<false>(
+      time_limit, config_.dispatch_mode == DispatchMode::kChainedTraces);
+}
+
+template <bool Bail>
+StopReason Iss::selectChainedT(uint64_t time_limit, bool traces) {
   if (!config_.model_timing) {
-    return runChainedT<false, false, false>(time_limit, traces);
+    return runChainedT<false, false, false, Bail>(time_limit, traces);
   }
-  const bool with_icache = icacheOn();
   const bool with_extras = config_.model_branch_extras;
-  if (with_icache) {
+  if (icacheOn()) {
     return with_extras
-               ? runChainedT<true, true, true>(time_limit, traces)
-               : runChainedT<true, true, false>(time_limit, traces);
+               ? runChainedT<true, true, true, Bail>(time_limit, traces)
+               : runChainedT<true, true, false, Bail>(time_limit, traces);
   }
   return with_extras
-             ? runChainedT<true, false, true>(time_limit, traces)
-             : runChainedT<true, false, false>(time_limit, traces);
+             ? runChainedT<true, false, true, Bail>(time_limit, traces)
+             : runChainedT<true, false, false, Bail>(time_limit, traces);
 }
 
 StopReason Iss::runLoopLookup(uint64_t time_limit) {
@@ -645,6 +791,9 @@ std::vector<HotBlock> Iss::hotBlocks(size_t n) const {
 uint32_t Iss::loadMem(uint32_t addr, unsigned size, bool sign) {
   uint32_t v;
   if (bus_ != nullptr && bus_->covers(addr)) {
+    // Safety net: a private slice must have bailed before reaching here
+    // (the engines test touchesShared() pre-execution).
+    CABT_CHECK(!private_mode_, "bus read escaped the private-slice bail");
     syncBusClock();
     v = bus_->read(addr, size);
     ++stats_.io_reads;
@@ -659,6 +808,7 @@ uint32_t Iss::loadMem(uint32_t addr, unsigned size, bool sign) {
 
 void Iss::storeMem(uint32_t addr, uint32_t value, unsigned size) {
   if (bus_ != nullptr && bus_->covers(addr)) {
+    CABT_CHECK(!private_mode_, "bus write escaped the private-slice bail");
     syncBusClock();
     bus_->write(addr, value, size);
     ++stats_.io_writes;

@@ -102,6 +102,11 @@ struct IssStats {
   /// did not match the speculated next segment (branch went the
   /// non-dominant way, or an interrupt redirected control).
   uint64_t guard_bails = 0;
+  /// Parallel-round accounting (also non-architectural): private slices
+  /// run as worker-thread prefixes, and how many of them bailed to the
+  /// sequential drain on a shared-bus touch before the quantum expired.
+  uint64_t private_slices = 0;
+  uint64_t private_bails = 0;
 };
 
 /// Block-dispatch strategy of the run()/runUntil() engine (only
@@ -194,6 +199,39 @@ class Iss {
   /// functional cores still interleave and clock the bus deterministically.
   [[nodiscard]] uint64_t localTime() const;
 
+  // -- private-footprint slices (the parallel kernel's worker-thread
+  //    prefixes; see sim/kernel.h ParallelConfig and DESIGN.md §7) ------
+  //
+  // Between beginPrivateSlice() and commitPrivateSlice() the core runs
+  // touching nothing outside itself: any instruction whose effective
+  // address lands on the SoC bus yields *before* executing
+  // (runUntil/step return kCycleLimit with bailedOnShared() true and the
+  // pc resting on that instruction), and the block-boundary interrupt
+  // samples — provably inert under the IrqSource::quiescent certificate
+  // that privateSliceReady() requires — are skipped, with the bus-clock
+  // advance each one would have made recorded instead. The slice is
+  // therefore safe on a worker thread, and bit-identical to what the
+  // sequential kernel would have executed up to the same point.
+
+  /// True when the next quantum slice may start as a private prefix: the
+  /// core is resumable and its interrupt input (if any) holds the
+  /// quiescence certificate. Kernel-side: Process::parallelReady().
+  [[nodiscard]] bool privateSliceReady() const {
+    return stop_ == StopReason::kRunning &&
+           (irq_ == nullptr || irq_->quiescent());
+  }
+  /// Enters private-slice mode (call privateSliceReady() first).
+  void beginPrivateSlice();
+  /// Leaves private-slice mode at the core's sequential dispatch slot:
+  /// re-checks the certificate, then replays the recorded bus-clock
+  /// advance — so the shared clock sees exactly the advanceTo() calls
+  /// the sequential kernel would have issued, in dispatch order.
+  /// Returns true when the slice bailed and the remainder must be run
+  /// (sequentially) with another runUntil() to the same slice end.
+  bool commitPrivateSlice();
+  /// True after a private slice stopped on a would-be shared access.
+  [[nodiscard]] bool bailedOnShared() const { return bailed_shared_; }
+
   /// Connects the core's interrupt input; sampled at every basic-block
   /// boundary (after the bus has been advanced to localTime()). On
   /// delivery: A14 = return PC, PC = vector, irq_entry_cycles charged.
@@ -269,18 +307,38 @@ class Iss {
   void icacheAccess(uint32_t addr);
   void icacheAccessTagged(uint32_t set, uint32_t want);
   StopReason runLoop(uint64_t time_limit);
+  /// Resolves the (model_timing, icache-on, model_branch_extras) knobs
+  /// into the matching runChainedT instantiation — the single dispatch
+  /// ladder shared by normal runs (Bail=false) and private slices
+  /// (Bail=true), so the two modes cannot drift apart.
+  template <bool Bail>
+  StopReason selectChainedT(uint64_t time_limit, bool traces);
   /// The pre-chaining dispatch loop (DispatchMode::kLookup): address
   /// hash lookup + ordered-set leader probes per block. Kept verbatim as
   /// the measured baseline of the dispatch ablation.
   StopReason runLoopLookup(uint64_t time_limit);
   /// The chained engine, specialized on (model_timing, icache-on,
-  /// model_branch_extras); `traces` enables superblock formation.
-  template <bool Timing, bool ICache, bool BranchX>
+  /// model_branch_extras); `traces` enables superblock formation. `Bail`
+  /// compiles in the private-slice shared-touch tests (the parallel
+  /// prefix path); normal runs use the Bail=false instantiations, so no
+  /// new test reaches the sequential hot path.
+  template <bool Timing, bool ICache, bool BranchX, bool Bail = false>
   StopReason runChainedT(uint64_t time_limit, bool traces);
   /// dispatchBlock with the per-instruction config tests hoisted into
   /// template parameters.
-  template <bool Timing, bool ICache, bool BranchX>
+  template <bool Timing, bool ICache, bool BranchX, bool Bail = false>
   void dispatchBlockT(core::ExecBlock& block);
+  /// True when executing `in` right now would touch the SoC bus (its
+  /// effective address — computable without side effects for every TRC32
+  /// memory instruction — lands on a device window).
+  [[nodiscard]] bool touchesShared(const trc::Instr& in) const;
+  /// Stops a private slice just before instruction `i` of a block being
+  /// fast-dispatched: restores the stepping engine's warm view of the
+  /// half-executed block (issue schedule of instructions [0, i), line
+  /// tracking at instruction i-1) so the sequential drain resumes
+  /// bit-exactly via the per-instruction fallback.
+  template <bool Timing, bool ICache>
+  void bailOutOfBlockT(core::ExecBlock& block, size_t i);
   /// Executes a superblock; applies every correction at the original
   /// block boundaries and bails on guard failure. Returns the chained
   /// next-block index, -1 (resolve via lookup/stepping) or
@@ -353,6 +411,15 @@ class Iss {
   bool in_block_ = false;
   bool trace_blocks_ = false;
   std::vector<BlockRecord> block_trace_;
+
+  // Private-slice (parallel prefix) state. `deferred_advance_` is the
+  // local time of the latest bus-clock advance the slice *would* have
+  // made (skipped interrupt samples, the halt-time sync); it is replayed
+  // by commitPrivateSlice() at the core's sequential dispatch slot.
+  bool private_mode_ = false;
+  bool bailed_shared_ = false;
+  uint64_t deferred_advance_ = 0;
+  uint64_t skipped_samples_ = 0;
 
   IssStats stats_;
 };

@@ -99,21 +99,53 @@ uint32_t symbolAddr(const elf::Object& object, std::string_view symbol) {
 /// One ISS core as an event-kernel process: runs until its local time
 /// reaches the next quantum boundary, then syncs; finishes (and stops
 /// rescheduling) on any non-resumable stop.
+///
+/// Under the parallel-round kernel the core additionally offers its
+/// quantum slice as a private prefix (Iss::beginPrivateSlice): the
+/// worker thread runs the slice until it would touch the shared bus,
+/// and activate() — at the core's unchanged sequential dispatch slot —
+/// commits the prefix (replaying the recorded bus-clock advance) and
+/// finishes any bailed remainder in normal mode. Either way the
+/// sequence of shared-state accesses is exactly the sequential one.
 class ReferenceBoard::CoreProcess : public sim::Process {
  public:
   CoreProcess(iss::Iss* core, std::string name)
       : sim::Process(std::move(name)), core_(core) {}
 
   void activate(sim::Kernel& kernel) override {
-    const iss::StopReason r =
-        core_->runUntil(core_->localTime() + kernel.quantum());
+    iss::StopReason r;
+    if (prefix_ran_) {
+      prefix_ran_ = false;
+      r = prefix_result_;
+      if (core_->commitPrivateSlice()) {
+        r = core_->runUntil(slice_end_);  // finish the bailed remainder
+      }
+    } else {
+      r = core_->runUntil(core_->localTime() + kernel.quantum());
+    }
     if (r == iss::StopReason::kCycleLimit) {
       kernel.sync(this, core_->localTime());
     }
   }
 
+  [[nodiscard]] bool parallelReady() const override {
+    return core_->privateSliceReady();
+  }
+
+  void parallelPrefix(sim::Cycle quantum) override {
+    // The same slice-end formula activate() uses, so the prefix and a
+    // sequential activation run the identical slice.
+    slice_end_ = core_->localTime() + quantum;
+    core_->beginPrivateSlice();
+    prefix_result_ = core_->runUntil(slice_end_);
+    prefix_ran_ = true;
+  }
+
  private:
   iss::Iss* core_;
+  bool prefix_ran_ = false;
+  iss::StopReason prefix_result_ = iss::StopReason::kRunning;
+  uint64_t slice_end_ = 0;
 };
 
 ReferenceBoard::ReferenceBoard(const arch::ArchDescription& desc,
@@ -140,6 +172,7 @@ void ReferenceBoard::init(const arch::ArchDescription& desc,
   const MemRegion* io = desc.memory_map.findNamed("io");
   CABT_CHECK(io != nullptr, "architecture has no 'io' region");
   kernel_.setQuantum(config.quantum);
+  kernel_.setParallel(config.parallel);
   board_ = std::make_unique<soc::StandardPeripherals>(io->base);
   ptimer_ = std::make_unique<soc::ProgrammableTimer>();
   mailbox_ = std::make_unique<soc::MailboxDevice>();

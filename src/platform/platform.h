@@ -173,6 +173,12 @@ struct BoardConfig {
   /// exactly quantum-invariant; with several it bounds cross-core
   /// visibility latency (see sim/kernel.h).
   sim::Cycle quantum = 1024;
+  /// Parallel-round execution (sim/kernel.h): cores whose quantum slice
+  /// has a core-private footprint run concurrently on worker threads;
+  /// everything shared drains in the sequential dispatch order, so the
+  /// run is bit-identical to `parallel.enabled = false` by construction
+  /// (tests/parallel_test.cpp).
+  sim::Kernel::ParallelConfig parallel;
 };
 
 /// The reference board, grown into a multi-core SoC: N ISS cores (one

@@ -1,5 +1,10 @@
 #include "sim/kernel.h"
 
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 namespace cabt::sim {
 
 void ClockedProcess::activate(Kernel& kernel) {
@@ -24,18 +29,209 @@ void Event::notify(Cycle at) {
   waiting_.clear();
 }
 
-Cycle Kernel::run(Cycle limit) {
-  while (!queue_.empty() && queue_.top().at <= limit) {
-    Ev ev = queue_.top();
-    queue_.pop();
-    if (ev.at > now_) {
-      now_ = ev.at;
+/// Worker-thread pool with a round barrier. One round = one batch of
+/// process prefixes: runAll() publishes the batch, the workers *and* the
+/// calling thread pull tasks until the batch is empty, and runAll()
+/// returns only after every prefix finished (the barrier). The mutex
+/// hand-off establishes the happens-before edge that makes all prefix
+/// state visible to the sequential drain that follows.
+class Kernel::Pool {
+ public:
+  explicit Pool(unsigned workers) {
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { workerLoop(); });
     }
-    ++dispatched_;
-    if (ev.proc != nullptr) {
-      ev.proc->activate(*this);
-    } else {
-      ev.fn();
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+
+  /// Runs every prefix in `batch` (quantum-bounded) and returns after
+  /// the last one completed. The caller participates, so the pool also
+  /// works with zero worker threads (single-core hosts degenerate to a
+  /// plain sequential prefix loop with no thread traffic at all). The
+  /// first exception a prefix throws (an invariant CABT_CHECK, e.g. a
+  /// bus access escaping the private-slice bail) is rethrown here.
+  void runAll(const std::vector<Process*>& batch, Cycle quantum) {
+    if (batch.empty()) {
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = &batch;
+      quantum_ = quantum;
+      next_ = 0;
+      live_ = batch.size();
+      error_ = nullptr;
+    }
+    work_cv_.notify_all();
+    for (;;) {
+      Process* task = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (next_ < batch.size()) {
+          task = batch[next_++];
+        }
+      }
+      if (task == nullptr) {
+        break;
+      }
+      runOne(task, quantum);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return live_ == 0; });
+    batch_ = nullptr;
+    if (error_ != nullptr) {
+      std::exception_ptr error = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void runOne(Process* task, Cycle quantum) {
+    std::exception_ptr error;
+    try {
+      task->parallelPrefix(quantum);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error != nullptr && error_ == nullptr) {
+      error_ = error;
+    }
+    if (--live_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+
+  void workerLoop() {
+    for (;;) {
+      Process* task = nullptr;
+      Cycle quantum = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [this] {
+          return stopping_ || (batch_ != nullptr && next_ < batch_->size());
+        });
+        if (stopping_) {
+          return;
+        }
+        task = (*batch_)[next_++];
+        quantum = quantum_;
+      }
+      runOne(task, quantum);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::vector<Process*>* batch_ = nullptr;
+  Cycle quantum_ = 0;
+  size_t next_ = 0;
+  size_t live_ = 0;
+  std::exception_ptr error_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+Kernel::Kernel(Cycle quantum) : quantum_(quantum) {
+  CABT_CHECK(quantum_ >= 1, "quantum must be >= 1");
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::dispatchOne() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Ev ev = std::move(queue_.back());
+  queue_.pop_back();
+  if (ev.at > now_) {
+    now_ = ev.at;
+  }
+  ++dispatched_;
+  if (ev.proc != nullptr) {
+    ev.proc->activate(*this);
+  } else {
+    ev.fn();
+  }
+}
+
+Cycle Kernel::run(Cycle limit) {
+  return parallel_.enabled ? runParallelRounds(limit) : runSequential(limit);
+}
+
+Cycle Kernel::runSequential(Cycle limit) {
+  while (!queue_.empty() && queue_.front().at <= limit) {
+    dispatchOne();
+  }
+  return now_;
+}
+
+void Kernel::runPrefixes(const std::vector<Process*>& ready) {
+  if (ready.empty()) {
+    return;
+  }
+  ++rounds_;
+  prefixes_ += ready.size();
+  if (ready.size() == 1) {
+    ready.front()->parallelPrefix(quantum_);
+    return;
+  }
+  if (pool_ == nullptr) {
+    unsigned workers = parallel_.workers;
+    if (workers == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = hw > 1 ? hw - 1 : 0;  // the caller is a prefix runner too
+    }
+    pool_ = std::make_unique<Pool>(std::min(workers, 16u));
+  }
+  pool_->runAll(ready, quantum_);
+}
+
+Cycle Kernel::runParallelRounds(Cycle limit) {
+  std::vector<Process*> ready;
+  while (!queue_.empty() && queue_.front().at <= limit) {
+    // One round: [start, start + quantum). Every process syncs at least
+    // one quantum ahead of its activation time, so each participates in
+    // at most one activation per round and a prefix run now is consumed
+    // by an activation in this round's drain (prefixes are only taken
+    // from events at <= limit, which the drain is guaranteed to reach).
+    const Cycle start = queue_.front().at;
+    const Cycle round_end =
+        start > kForever - quantum_ ? kForever : start + quantum_;
+    ready.clear();
+    for (const Ev& ev : queue_) {
+      if (ev.proc == nullptr || ev.at >= round_end || ev.at > limit ||
+          !ev.proc->parallelReady()) {
+        continue;
+      }
+      // Defensive de-dup: a process with several queued activations runs
+      // one prefix only (the first activation consumes it).
+      if (std::find(ready.begin(), ready.end(), ev.proc) == ready.end()) {
+        ready.push_back(ev.proc);
+      }
+    }
+    runPrefixes(ready);
+    // Sequential drain: the exact pop-min order of the sequential
+    // kernel, including events pushed while draining that still fall
+    // inside this round's window.
+    while (!queue_.empty() && queue_.front().at < round_end &&
+           queue_.front().at <= limit) {
+      dispatchOne();
+    }
+    if (round_end == kForever) {
+      break;  // the window was unbounded: everything already drained
     }
   }
   return now_;

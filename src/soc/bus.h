@@ -1,8 +1,18 @@
 // SoC bus model: address-windowed devices, a cycle counter driven by the
 // clock source (processor or synchronization device), and a transaction
 // log that tests use to check cycle-accurate I/O behaviour.
+//
+// Threading contract (the parallel-round kernel, DESIGN.md section 7):
+// the bus and its devices are *not* internally synchronized. All
+// mutating calls — read/write/clockCycle/advanceTo — happen on the
+// sequential drain of a round (one thread at a time, ordered by the
+// kernel's deterministic dispatch order). Worker-thread prefixes may
+// only call covers(), which touches nothing but the window table laid
+// down at construction time; iss::Iss enforces the rest by bailing out
+// of a private slice before any bus access.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -26,8 +36,11 @@ struct Transaction {
 class SocBus {
  public:
   /// Maps `device` at [base, base+size). The bus does not own devices.
+  /// Attach everything before the simulation starts: the window table is
+  /// read lock-free from covers() (see the threading contract above).
   void attach(Device* device, uint32_t base, uint32_t size) {
     CABT_CHECK(device != nullptr, "null device");
+    CABT_CHECK(size >= 1, "empty device window");
     for (const Window& w : windows_) {
       const bool disjoint =
           base + (size - 1) < w.base || w.base + (w.size - 1) < base;
@@ -36,9 +49,18 @@ class SocBus {
                                                  << w.device->name() << "'");
     }
     windows_.push_back({device, base, size});
+    lo_ = std::min(lo_, static_cast<uint64_t>(base));
+    hi_ = std::max(hi_, static_cast<uint64_t>(base) + size);
   }
 
+  /// True when some device window maps `addr`. On the hot path of every
+  /// ISS load/store (and of the parallel prefix's shared-touch test), so
+  /// the all-windows bounding box rejects private-memory addresses in
+  /// one compare before the window scan.
   [[nodiscard]] bool covers(uint32_t addr) const {
+    if (addr < lo_ || addr >= hi_) {
+      return false;
+    }
     return findWindow(addr) != nullptr;
   }
 
@@ -140,6 +162,10 @@ class SocBus {
   }
 
   std::vector<Window> windows_;
+  /// Bounding box over all windows ([lo_, hi_) in a 64-bit range so a
+  /// window ending at 2^32 needs no special case); empty bus = empty box.
+  uint64_t lo_ = ~static_cast<uint64_t>(0);
+  uint64_t hi_ = 0;
   std::vector<Transaction> log_;
   size_t log_limit_ = 0;  ///< 0 = unbounded (full logging, the test default)
   uint64_t dropped_transactions_ = 0;

@@ -37,7 +37,10 @@ class Device {
   /// which is always correct; devices whose state is a pure function of
   /// time override this with an O(1)/O(events) computation so that the
   /// event kernel's lazy time advancement (sim/kernel.h) costs O(work)
-  /// instead of O(cycles).
+  /// instead of O(cycles). Like every mutating device entry point,
+  /// advanceTo runs only on the kernel's sequential drain — never
+  /// concurrently — under the parallel-round kernel (see the threading
+  /// contract in soc/bus.h); implementations need no locking.
   virtual void advanceTo(uint64_t from, uint64_t to) {
     for (uint64_t c = from + 1; c <= to; ++c) {
       clockCycle(c);

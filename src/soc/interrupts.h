@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "soc/device.h"
@@ -37,6 +38,15 @@ class IrqSource {
   /// commits to the delivery: further interrupts are masked until
   /// software signals end-of-interrupt. Returns nullopt otherwise.
   virtual std::optional<uint32_t> takeIrq(uint64_t soc_cycle) = 0;
+
+  /// Certificate for the parallel kernel's private slices (DESIGN.md
+  /// section 7): true when takeIrq() is guaranteed to return nullopt for
+  /// *any* sample in the near future, whatever lines get raised
+  /// meanwhile, and only register writes issued by the sampling core
+  /// itself (which bail a private slice before they happen) can change
+  /// that. Sources that cannot give this guarantee return false — their
+  /// core then simply runs its whole slice on the sequential drain.
+  [[nodiscard]] virtual bool quiescent() const { return false; }
 };
 
 /// A simple per-core interrupt controller with 32 level/latch lines.
@@ -76,15 +86,31 @@ class InterruptController : public Device, public IrqSource {
   [[nodiscard]] bool inService() const { return in_service_; }
   [[nodiscard]] uint32_t vector() const { return vector_; }
   [[nodiscard]] uint64_t irqsTaken() const { return irqs_taken_; }
+  /// SoC-cycle timestamp of every delivery, in order (capped at
+  /// kMaxDeliveryLog entries — enough for every scenario/test; golden-
+  /// trace and differential tests compare these lists verbatim).
+  [[nodiscard]] const std::vector<uint64_t>& deliveryTimes() const {
+    return delivery_times_;
+  }
 
   // -- IrqSource ------------------------------------------------------
-  std::optional<uint32_t> takeIrq(uint64_t) override {
+  std::optional<uint32_t> takeIrq(uint64_t soc_cycle) override {
     if (!master_enable_ || in_service_ || pending() == 0) {
       return std::nullopt;
     }
     in_service_ = true;
     ++irqs_taken_;
+    if (delivery_times_.size() < kMaxDeliveryLog) {
+      delivery_times_.push_back(soc_cycle);
+    }
     return vector_;
+  }
+
+  /// While masked or in service, no raise can make takeIrq() deliver,
+  /// and only the owning core's own register writes (CTRL/EOI — bus
+  /// writes, which bail a private slice) can lift that state.
+  [[nodiscard]] bool quiescent() const override {
+    return !master_enable_ || in_service_;
   }
 
   // -- Device ---------------------------------------------------------
@@ -138,12 +164,15 @@ class InterruptController : public Device, public IrqSource {
   void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
 
  private:
+  static constexpr size_t kMaxDeliveryLog = 65536;
+
   uint32_t raw_ = 0;
   uint32_t enable_ = 0;
   uint32_t vector_ = 0;
   bool master_enable_ = false;
   bool in_service_ = false;
   uint64_t irqs_taken_ = 0;
+  std::vector<uint64_t> delivery_times_;
 };
 
 /// Programmable interval timer: a down-counter over SoC cycles that

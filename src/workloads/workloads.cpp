@@ -442,6 +442,54 @@ cwait:  ldw d3, [a6]0x604     ; mailbox STATUS
 result: .word 0
 )";
 
+// Multi-core compute worker (any core): long private MAC kernel over a
+// core-local array, with one shared-bus "progress beacon" (a scratch-
+// register write) per outer iteration — the parallel-round sweet spot:
+// almost the whole quantum has a core-private footprint, and the rare
+// beacon exercises the bail-to-sequential-drain path so cross-core
+// transaction order stays deterministic. Used by the N-core boards of
+// tests/parallel_test.cpp and bench_parallel_cores.
+const char* kMcWorker = R"(
+; mc_worker - private MAC compute with a rare shared progress beacon
+_start: movha a6, 0xf000      ; I/O region (scratch block at +0x300)
+        movha a0, hi(x)
+        lea a0, a0, lo(x)
+        movi d1, 7777         ; LCG seed
+        movi d2, 25173
+        movi d3, 13849
+        movi d13, 255
+        movi d0, 256
+xinit:  mul d1, d1, d2
+        add d1, d1, d3
+        and d4, d1, d13
+        stw d4, [a0]0
+        lea a0, a0, 4
+        addi16 d0, -1
+        jnz16 d0, xinit
+        movi d0, 400          ; outer iterations
+        movi d9, 0            ; running checksum
+outer:  movha a3, hi(x)
+        lea a3, a3, lo(x)
+        movi d6, 256
+mac:    ldw d7, [a3]0
+        mul d10, d7, d6       ; coefficient = remaining count
+        add d9, d9, d10
+        lea a3, a3, 4
+        addi16 d6, -1
+        jnz16 d6, mac
+        stw d9, [a6]0x31c     ; progress beacon: scratch register 7
+        addi16 d0, -1
+        jnz16 d0, outer
+        movha a1, hi(result)
+        lea a1, a1, lo(result)
+        stw d9, [a1]0
+        halt
+        .data
+result: .word 0
+        .bss
+x:      .space 1024
+)";
+
 std::vector<Workload> buildScenarios() {
   std::vector<Workload> w;
   w.push_back({"irq_ticks",
@@ -453,6 +501,10 @@ std::vector<Workload> buildScenarios() {
   w.push_back({"mc_consumer",
                "polling mailbox consumer (multi-core, core 1)", kMcConsumer,
                1544u, false, ""});
+  w.push_back({"mc_worker",
+               "private MAC compute with a rare shared progress beacon "
+               "(multi-core, any core)",
+               kMcWorker, 1644595200u, false, ""});
   return w;
 }
 

@@ -42,8 +42,9 @@ const std::vector<Workload>& all();
 /// SoC-scenario programs beyond the paper's figure set: interrupt-driven
 /// and multi-core workloads for the reference board's interrupt
 /// controller / programmable timer / mailbox (irq_ticks, mc_producer,
-/// mc_consumer). They require the board's interrupt path and are not run
-/// through the translator comparisons.
+/// mc_consumer) plus the compute-heavy mc_worker used by the N-core
+/// parallel-round boards. They require the board's peripherals and are
+/// not run through the translator comparisons.
 const std::vector<Workload>& scenarios();
 
 /// Lookup by name across all() and scenarios(); throws cabt::Error when

@@ -12,6 +12,7 @@
 // over a wide program space rather than just the hand-written workloads.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
 #include <random>
 #include <sstream>
@@ -26,22 +27,30 @@
 namespace cabt {
 namespace {
 
-/// Deterministic structured program generator.
+/// Deterministic structured program generator. With `shared_traffic` the
+/// program additionally talks to the reference board's shared
+/// peripherals (scratch registers and the inter-core mailbox) between
+/// private compute sections — the workload shape of the multi-core
+/// parallel-round scenario.
 class ProgramGenerator {
  public:
-  explicit ProgramGenerator(uint32_t seed) : rng_(seed) {}
+  explicit ProgramGenerator(uint32_t seed, bool shared_traffic = false)
+      : shared_traffic_(shared_traffic), rng_(seed) {}
 
   std::string generate() {
     out_.str("");
     out_ << "_start: movha a0, hi(buf)\n";
     out_ << "        lea a0, a0, lo(buf)\n";
+    if (shared_traffic_) {
+      out_ << "        movha a5, 0xf000\n";  // I/O region base
+    }
     // Seed a few data registers with random constants.
     for (int i = 0; i < 6; ++i) {
       out_ << "        movi d" << i << ", " << smallInt() << "\n";
     }
     const int sections = 2 + static_cast<int>(rng_() % 3);
     for (int s = 0; s < sections; ++s) {
-      switch (rng_() % 4) {
+      switch (rng_() % (shared_traffic_ ? 5 : 4)) {
         case 0:
           emitStraightLine();
           break;
@@ -54,7 +63,13 @@ class ProgramGenerator {
         case 3:
           emitCall(s);
           break;
+        case 4:
+          emitSharedTraffic();
+          break;
       }
+    }
+    if (shared_traffic_) {
+      emitSharedTraffic();  // at least one shared access per program
     }
     // Fold state into d9 so every path affects the final comparison.
     out_ << "        add d9, d9, d0\n";
@@ -131,6 +146,34 @@ class ProgramGenerator {
     callees_ << "        ret16\n";
   }
 
+  /// Random chatter with the shared peripherals: scratch-register reads
+  /// and writes, mailbox pushes, pops and status polls (a pop of an
+  /// empty mailbox reads 0 — benign whatever the interleaving).
+  void emitSharedTraffic() {
+    const int n = 1 + static_cast<int>(rng_() % 3);
+    for (int i = 0; i < n; ++i) {
+      const int scratch = 0x300 + static_cast<int>(rng_() % 16) * 4;
+      switch (rng_() % 5) {
+        case 0:
+          out_ << "        stw d" << reg() << ", [a5]" << scratch << "\n";
+          break;
+        case 1:
+          out_ << "        ldw d" << reg() << ", [a5]" << scratch << "\n";
+          break;
+        case 2:
+          out_ << "        stw d" << reg() << ", [a5]" << 0x600 << "\n";
+          break;
+        case 3:
+          out_ << "        ldw d" << reg() << ", [a5]" << 0x600 << "\n";
+          break;
+        case 4:
+          out_ << "        ldw d" << reg() << ", [a5]" << 0x604 << "\n";
+          break;
+      }
+    }
+  }
+
+  bool shared_traffic_ = false;
   std::mt19937 rng_;
   std::ostringstream out_;
   std::ostringstream callees_;
@@ -272,6 +315,93 @@ TEST(RandomPrograms, GeneratorIsDeterministic) {
   EXPECT_EQ(ProgramGenerator(7).generate(), ProgramGenerator(7).generate());
   EXPECT_NE(ProgramGenerator(7).generate(), ProgramGenerator(8).generate());
 }
+
+// ---- multi-core randomized scenario ---------------------------------
+//
+// Three cores run three different random programs (private compute plus
+// random shared-mailbox/scratch chatter) on one reference board, under
+// the sequential kernel and under parallel rounds. Everything observable
+// must agree bit-exactly: registers, cycles, and the shared bus's full
+// transaction log (order, payloads and SoC-cycle stamps).
+
+class MultiCoreRandomPrograms : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MultiCoreRandomPrograms, ParallelKernelBitIdentical) {
+  const uint32_t seed = seedBase() + GetParam();
+  SCOPED_TRACE("seed: " + std::to_string(seed) + " (CABT_TEST_SEED base " +
+               std::to_string(seedBase()) + " + param " +
+               std::to_string(GetParam()) + ")");
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  std::vector<elf::Object> images;
+  std::vector<const elf::Object*> ptrs;
+  for (uint32_t core = 0; core < 3; ++core) {
+    ProgramGenerator gen(seed + 1000 * core, /*shared_traffic=*/true);
+    images.push_back(trc::assemble(gen.generate()));
+  }
+  for (const elf::Object& obj : images) {
+    ptrs.push_back(&obj);
+  }
+
+  for (const sim::Cycle quantum : {16u, 512u}) {
+    SCOPED_TRACE("quantum " + std::to_string(quantum));
+    struct Run {
+      std::vector<iss::IssStats> stats;
+      std::vector<std::array<uint32_t, 32>> regs;
+      std::vector<uint32_t> pc;
+      std::vector<soc::Transaction> log;
+      uint64_t bus_cycle = 0;
+      uint64_t events = 0;
+    };
+    const auto runOnce = [&](bool parallel) {
+      platform::BoardConfig cfg;
+      cfg.quantum = quantum;
+      cfg.parallel.enabled = parallel;
+      cfg.parallel.workers = 2;  // real threads even on 1-core hosts
+      platform::ReferenceBoard board(desc, ptrs, cfg);
+      const iss::StopReason r = board.run();
+      EXPECT_EQ(r, iss::StopReason::kHalted);
+      Run run;
+      for (size_t i = 0; i < board.numCores(); ++i) {
+        run.stats.push_back(board.core(i).stats());
+        std::array<uint32_t, 32> regs{};
+        for (int j = 0; j < 16; ++j) {
+          regs[static_cast<size_t>(j)] = board.core(i).d(j);
+          regs[static_cast<size_t>(j) + 16] = board.core(i).a(j);
+        }
+        run.regs.push_back(regs);
+        run.pc.push_back(board.core(i).pc());
+      }
+      run.log = board.board().bus.log();
+      run.bus_cycle = board.board().bus.socCycle();
+      run.events = board.kernel().eventsDispatched();
+      return run;
+    };
+    const Run seq = runOnce(false);
+    const Run par = runOnce(true);
+    ASSERT_EQ(par.stats.size(), seq.stats.size());
+    for (size_t i = 0; i < seq.stats.size(); ++i) {
+      SCOPED_TRACE("core " + std::to_string(i));
+      EXPECT_EQ(par.stats[i].instructions, seq.stats[i].instructions);
+      EXPECT_EQ(par.stats[i].cycles, seq.stats[i].cycles);
+      EXPECT_EQ(par.stats[i].io_reads, seq.stats[i].io_reads);
+      EXPECT_EQ(par.stats[i].io_writes, seq.stats[i].io_writes);
+      EXPECT_EQ(par.regs[i], seq.regs[i]);
+      EXPECT_EQ(par.pc[i], seq.pc[i]);
+    }
+    EXPECT_EQ(par.bus_cycle, seq.bus_cycle);
+    EXPECT_EQ(par.events, seq.events);
+    ASSERT_EQ(par.log.size(), seq.log.size());
+    for (size_t i = 0; i < seq.log.size(); ++i) {
+      EXPECT_EQ(par.log[i].soc_cycle, seq.log[i].soc_cycle) << "txn " << i;
+      EXPECT_EQ(par.log[i].addr, seq.log[i].addr) << "txn " << i;
+      EXPECT_EQ(par.log[i].value, seq.log[i].value) << "txn " << i;
+      EXPECT_EQ(par.log[i].is_write, seq.log[i].is_write) << "txn " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiCoreRandomPrograms,
+                         ::testing::Range<uint32_t>(1, 13));
 
 }  // namespace
 }  // namespace cabt

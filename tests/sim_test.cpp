@@ -353,6 +353,92 @@ TEST(InterruptDriven, HandlerBreakpointHitsOnEveryDelivery) {
   EXPECT_EQ(workloads::readChecksum(obj, core.memory()), 164u);
 }
 
+// ---- golden-trace snapshots -----------------------------------------
+//
+// Committed expected values for the stock scenario workloads at one
+// pinned configuration (kICache detail, quantum 1024, default engine).
+// The simulation is a pure function of the architecture description, so
+// these are stable across hosts and compilers; any engine change that
+// shifts a cycle count, an IRQ delivery timestamp or the bus traffic
+// regresses loudly here instead of silently drifting.
+
+TEST(GoldenTrace, IrqTicks) {
+  const ScenarioRun r = runIrqTicks(kEngineVariants[3], 1024);
+  EXPECT_EQ(r.stats.instructions, 2126u);
+  EXPECT_EQ(r.stats.cycles, 3279u);
+  EXPECT_EQ(r.stats.irqs_taken, 8u);
+  EXPECT_EQ(r.stats.irq_entry_cycles, 48u);
+  EXPECT_EQ(r.checksum, 164u);
+  EXPECT_EQ(r.bus_cycle, 3279u);
+  EXPECT_EQ(r.timer_expiries, 8u);
+}
+
+TEST(GoldenTrace, IrqTicksDeliveryTimestamps) {
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  const workloads::Workload& w = workloads::get("irq_ticks");
+  const elf::Object obj = workloads::assemble(w);
+  platform::BoardConfig cfg;
+  cfg.iss = platform::issConfigFor(xlat::DetailLevel::kICache);
+  cfg.iss.extra_leaders = {platform::symbolAddr(obj, w.irq_handler)};
+  cfg.quantum = 1024;
+  platform::ReferenceBoard board(desc, {&obj}, cfg);
+  ASSERT_EQ(board.run(), iss::StopReason::kHalted);
+  const std::vector<uint64_t> expected = {447,  845,  1245, 1645,
+                                          2045, 2445, 2845, 3245};
+  EXPECT_EQ(board.intc(0).deliveryTimes(), expected);
+  EXPECT_EQ(board.board().bus.log().size(), 23u);
+}
+
+TEST(GoldenTrace, ProducerConsumerPair) {
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  const workloads::Workload& wp = workloads::get("mc_producer");
+  const elf::Object producer = workloads::assemble(wp);
+  const elf::Object consumer =
+      workloads::assemble(workloads::get("mc_consumer"));
+  platform::BoardConfig cfg;
+  cfg.iss = platform::issConfigFor(xlat::DetailLevel::kICache);
+  cfg.iss.extra_leaders = {platform::symbolAddr(producer, wp.irq_handler)};
+  cfg.quantum = 1024;
+  platform::ReferenceBoard board(desc, {&producer, &consumer}, cfg);
+  ASSERT_EQ(board.run(), iss::StopReason::kHalted);
+  EXPECT_EQ(board.core(0).stats().instructions, 3171u);
+  EXPECT_EQ(board.core(0).stats().cycles, 4891u);
+  EXPECT_EQ(board.core(0).stats().irqs_taken, 16u);
+  EXPECT_EQ(board.core(0).stats().irq_entry_cycles, 96u);
+  EXPECT_EQ(board.core(1).stats().instructions, 3275u);
+  EXPECT_EQ(board.core(1).stats().cycles, 4157u);
+  EXPECT_EQ(workloads::readChecksum(producer, board.core(0).memory()),
+            1544u);
+  EXPECT_EQ(workloads::readChecksum(consumer, board.core(1).memory()),
+            1544u);
+  EXPECT_EQ(board.board().bus.socCycle(), 4891u);
+  EXPECT_EQ(board.ptimer().expiries(), 16u);
+  EXPECT_EQ(board.mailbox().pushes(), 16u);
+  EXPECT_EQ(board.board().bus.log().size(), 888u);
+  std::vector<uint64_t> expected = {346};
+  for (uint64_t t = 648; t <= 4848; t += 300) {
+    expected.push_back(t);
+  }
+  EXPECT_EQ(board.intc(0).deliveryTimes(), expected);
+}
+
+TEST(GoldenTrace, McWorkerSoloRun) {
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  const elf::Object obj = workloads::assemble(workloads::get("mc_worker"));
+  platform::BoardConfig cfg;
+  cfg.iss = platform::issConfigFor(xlat::DetailLevel::kICache);
+  cfg.quantum = 1024;
+  platform::ReferenceBoard board(desc, {&obj}, cfg);
+  ASSERT_EQ(board.run(), iss::StopReason::kHalted);
+  EXPECT_EQ(board.core(0).stats().instructions, 618606u);
+  EXPECT_EQ(board.core(0).stats().cycles, 824784u);
+  EXPECT_EQ(workloads::readChecksum(obj, board.core(0).memory()),
+            1644595200u);
+  // One progress beacon per outer iteration, all on the shared bus.
+  EXPECT_EQ(board.board().bus.log().size(), 400u);
+  EXPECT_EQ(board.board().scratch.reg(7), 1644595200u);
+}
+
 // ---- multi-core board -----------------------------------------------
 
 TEST(MultiCore, ProducerConsumerCompletesAtEveryDetailLevelAndQuantum) {
