@@ -1,0 +1,229 @@
+// Checkpoint/replay driver for the stock scenario boards: computes the
+// rolling state digests scripts/golden_state.py pins in-repo, saves and
+// resumes full platform snapshots, and self-checks the save→restore→run
+// round trip.
+//
+// Usage:
+//   state_tool digest <scenario> [--level=...] [--quantum=N]
+//                     [--interval=N] [--parallel]
+//   state_tool selfcheck <scenario> [--level=...] [--quantum=N] [--at=N]
+//   state_tool save <scenario> --out=FILE [--at=N] [--level=...]
+//   state_tool resume <scenario> --in=FILE [--to=N] [--level=...]
+//
+// Scenarios: irq_ticks (1 core), mc_pair (producer + consumer),
+// mc_worker (solo), mc_quad (pair + two workers). `digest` prints one
+// `trail <cycle> <digest>` line per checkpoint interval (when
+// --interval is given) and a final machine-parsable summary line.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "snap/snapshot.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace cabt;
+
+xlat::DetailLevel parseLevel(const std::string& name) {
+  using xlat::DetailLevel;
+  if (name == "functional") {
+    return DetailLevel::kFunctional;
+  }
+  if (name == "static") {
+    return DetailLevel::kStatic;
+  }
+  if (name == "branch") {
+    return DetailLevel::kBranchPredict;
+  }
+  if (name == "cache") {
+    return DetailLevel::kICache;
+  }
+  throw Error("unknown detail level '" + name +
+              "' (functional|static|branch|cache)");
+}
+
+/// A stock scenario board: the images plus everything needed to build
+/// identically configured boards repeatedly (cold restore targets).
+struct Scenario {
+  std::vector<elf::Object> images;
+  std::vector<const elf::Object*> image_ptrs;
+  platform::BoardConfig cfg;
+  arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+
+  std::unique_ptr<platform::ReferenceBoard> makeBoard() const {
+    return std::make_unique<platform::ReferenceBoard>(desc, image_ptrs, cfg);
+  }
+};
+
+Scenario makeScenario(const std::string& name, xlat::DetailLevel level,
+                      sim::Cycle quantum, bool parallel) {
+  Scenario s;
+  std::vector<const workloads::Workload*> programs;
+  if (name == "irq_ticks") {
+    programs = {&workloads::get("irq_ticks")};
+  } else if (name == "mc_pair") {
+    programs = {&workloads::get("mc_producer"),
+                &workloads::get("mc_consumer")};
+  } else if (name == "mc_worker") {
+    programs = {&workloads::get("mc_worker")};
+  } else if (name == "mc_quad") {
+    programs = {&workloads::get("mc_producer"),
+                &workloads::get("mc_consumer"),
+                &workloads::get("mc_worker"), &workloads::get("mc_worker")};
+  } else {
+    throw Error("unknown scenario '" + name +
+                "' (irq_ticks|mc_pair|mc_worker|mc_quad)");
+  }
+  s.cfg.iss = platform::issConfigFor(level);
+  s.cfg.quantum = quantum;
+  s.cfg.parallel.enabled = parallel;
+  for (const workloads::Workload* w : programs) {
+    s.images.push_back(workloads::assemble(*w));
+    if (!w->irq_handler.empty()) {
+      s.cfg.iss.extra_leaders.push_back(
+          platform::symbolAddr(s.images.back(), w->irq_handler));
+    }
+  }
+  for (const elf::Object& obj : s.images) {
+    s.image_ptrs.push_back(&obj);
+  }
+  return s;
+}
+
+void printSummary(const platform::ReferenceBoard& board) {
+  uint64_t instructions = 0;
+  for (size_t i = 0; i < board.numCores(); ++i) {
+    instructions += board.core(i).stats().instructions;
+  }
+  std::printf("final bus_cycle=%llu instructions=%llu digest=0x%016llx\n",
+              static_cast<unsigned long long>(board.board().bus.socCycle()),
+              static_cast<unsigned long long>(instructions),
+              static_cast<unsigned long long>(snap::digest(board)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string command;
+    std::string scenario_name;
+    xlat::DetailLevel level = xlat::DetailLevel::kICache;
+    sim::Cycle quantum = 1024;
+    sim::Cycle interval = 0;
+    sim::Cycle at = 2000;
+    sim::Cycle to = sim::kForever;
+    bool parallel = false;
+    std::string in_path;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--level=", 0) == 0) {
+        level = parseLevel(arg.substr(8));
+      } else if (arg.rfind("--quantum=", 0) == 0) {
+        quantum = std::strtoull(arg.c_str() + 10, nullptr, 0);
+      } else if (arg.rfind("--interval=", 0) == 0) {
+        interval = std::strtoull(arg.c_str() + 11, nullptr, 0);
+      } else if (arg.rfind("--at=", 0) == 0) {
+        at = std::strtoull(arg.c_str() + 5, nullptr, 0);
+      } else if (arg.rfind("--to=", 0) == 0) {
+        to = std::strtoull(arg.c_str() + 5, nullptr, 0);
+      } else if (arg.rfind("--in=", 0) == 0) {
+        in_path = arg.substr(5);
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+      } else if (arg == "--parallel") {
+        parallel = true;
+      } else if (!arg.empty() && arg[0] != '-') {
+        if (command.empty()) {
+          command = arg;
+        } else if (scenario_name.empty()) {
+          scenario_name = arg;
+        } else {
+          throw Error("unexpected argument '" + arg + "'");
+        }
+      } else {
+        throw Error("unknown option '" + arg + "'");
+      }
+    }
+    if (command.empty() || scenario_name.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s digest|selfcheck|save|resume <scenario> "
+                   "[--level=functional|static|branch|cache] [--quantum=N] "
+                   "[--interval=N] [--at=N] [--to=N] [--in=F] [--out=F] "
+                   "[--parallel]\n",
+                   argv[0]);
+      return 2;
+    }
+
+    const Scenario scenario =
+        makeScenario(scenario_name, level, quantum, parallel);
+
+    if (command == "digest") {
+      std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      if (interval != 0) {
+        board->setCheckpointing({interval, 1});
+      }
+      board->run();
+      for (const auto& [cycle, digest] : board->digestTrail()) {
+        std::printf("trail %llu 0x%016llx\n",
+                    static_cast<unsigned long long>(cycle),
+                    static_cast<unsigned long long>(digest));
+      }
+      printSummary(*board);
+      return 0;
+    }
+
+    if (command == "save") {
+      CABT_CHECK(!out_path.empty(), "save needs --out=FILE");
+      std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      board->runTo(at);
+      snap::saveFile(*board, out_path);
+      std::printf("saved %s at cycle %llu digest=0x%016llx\n",
+                  out_path.c_str(),
+                  static_cast<unsigned long long>(board->kernel().now()),
+                  static_cast<unsigned long long>(snap::digest(*board)));
+      return 0;
+    }
+
+    if (command == "resume") {
+      CABT_CHECK(!in_path.empty(), "resume needs --in=FILE");
+      std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      snap::restoreFile(*board, in_path);
+      board->runTo(to);
+      printSummary(*board);
+      return 0;
+    }
+
+    if (command == "selfcheck") {
+      // Uninterrupted reference run.
+      std::unique_ptr<platform::ReferenceBoard> ref = scenario.makeBoard();
+      ref->run();
+      const uint64_t want = snap::digest(*ref);
+      // Save mid-run, restore into a cold board, run to completion.
+      std::unique_ptr<platform::ReferenceBoard> warm = scenario.makeBoard();
+      warm->runTo(at);
+      const std::vector<uint8_t> snapshot = snap::save(*warm);
+      std::unique_ptr<platform::ReferenceBoard> cold = scenario.makeBoard();
+      snap::restore(*cold, snapshot);
+      cold->run();
+      const uint64_t got = snap::digest(*cold);
+      std::printf("selfcheck %s at=%llu: uninterrupted=0x%016llx "
+                  "restored=0x%016llx %s\n",
+                  scenario_name.c_str(), static_cast<unsigned long long>(at),
+                  static_cast<unsigned long long>(want),
+                  static_cast<unsigned long long>(got),
+                  want == got ? "OK" : "MISMATCH");
+      return want == got ? 0 : 1;
+    }
+
+    throw Error("unknown command '" + command + "'");
+  } catch (const cabt::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

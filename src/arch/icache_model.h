@@ -12,6 +12,7 @@
 
 #include "arch/arch.h"
 #include "common/error.h"
+#include "common/serial.h"
 
 namespace cabt::arch {
 
@@ -91,6 +92,37 @@ class ICacheState {
     std::fill(tags_.begin(), tags_.end(), 0);
     std::fill(lru_.begin(), lru_.end(), initialLruWord(model_.ways));
     hits_ = misses_ = 0;
+  }
+
+  // -- snapshot support (src/snap): tags, valid bits and LRU ages decide
+  //    every future hit/miss, so they are architectural state for the
+  //    cycle counts. Geometry is construction-time and only verified.
+  void saveState(serial::Writer& w) const {
+    w.tag("icache");
+    w.u32(model_.sets);
+    w.u32(model_.ways);
+    for (const uint32_t t : tags_) {
+      w.u32(t);
+    }
+    for (const uint32_t l : lru_) {
+      w.u32(l);
+    }
+    w.u64(hits_);
+    w.u64(misses_);
+  }
+
+  void restoreState(serial::Reader& r) {
+    r.tag("icache");
+    CABT_CHECK(r.u32() == model_.sets && r.u32() == model_.ways,
+               "snapshot icache geometry does not match this core");
+    for (uint32_t& t : tags_) {
+      t = r.u32();
+    }
+    for (uint32_t& l : lru_) {
+      l = r.u32();
+    }
+    hits_ = r.u64();
+    misses_ = r.u64();
   }
 
  private:

@@ -15,6 +15,30 @@ void PipelineTimer::reset() {
   pair_dst_ = TimedOp::kNoReg;
 }
 
+void PipelineTimer::saveState(serial::Writer& w) const {
+  w.tag("pipe");
+  for (const uint64_t r : ready_) {
+    w.u64(r);
+  }
+  w.u64(next_issue_);
+  w.u64(cycles_);
+  w.b(pair_open_);
+  w.u64(pair_cycle_);
+  w.i32(pair_dst_);
+}
+
+void PipelineTimer::restoreState(serial::Reader& r) {
+  r.tag("pipe");
+  for (uint64_t& reg : ready_) {
+    reg = r.u64();
+  }
+  next_issue_ = r.u64();
+  cycles_ = r.u64();
+  pair_open_ = r.b();
+  pair_cycle_ = r.u64();
+  pair_dst_ = r.i32();
+}
+
 uint64_t PipelineTimer::issue(const TimedOp& op) {
   const auto readyAt = [this](int reg) -> uint64_t {
     if (reg == TimedOp::kNoReg) {

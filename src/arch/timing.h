@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/serial.h"
 
 namespace cabt::arch {
 
@@ -48,6 +49,12 @@ class PipelineTimer {
   /// Total cycles consumed since reset(): issue cycle of the last
   /// instruction + 1, or 0 when nothing was issued.
   [[nodiscard]] uint64_t cycles() const { return cycles_; }
+
+  // -- snapshot support (src/snap): the mid-block scoreboard is
+  //    micro-architectural state — a core saved between two instructions
+  //    of an open block must resume with the identical issue schedule.
+  void saveState(serial::Writer& w) const;
+  void restoreState(serial::Reader& r);
 
  private:
   static constexpr int kNumRegs = 32;

@@ -3,6 +3,7 @@
 // as zero. Used for the 32-bit address spaces of both processors.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/serial.h"
 
 namespace cabt {
 
@@ -66,6 +68,53 @@ class SparseMemory {
   /// touched with only zeros equals an untouched page).
   [[nodiscard]] bool contentEquals(const SparseMemory& other) const {
     return this->coveredBy(other) && other.coveredBy(*this);
+  }
+
+  /// Drops every page (all addresses read as zero again).
+  void clear() { pages_.clear(); }
+
+  // -- snapshot support (src/snap, DESIGN.md section 9) -----------------
+
+  /// Serializes every touched page. Pages iterate in address order
+  /// (std::map), so the byte stream is canonical for a given page set.
+  void saveState(serial::Writer& w) const {
+    w.tag("mem");
+    w.u32(static_cast<uint32_t>(pages_.size()));
+    for (const auto& [base, page] : pages_) {
+      w.u32(base);
+      w.bytes(page.data(), page.size());
+    }
+  }
+
+  /// Replaces the full contents with a saved image.
+  void restoreState(serial::Reader& r) {
+    r.tag("mem");
+    pages_.clear();
+    const uint32_t n = r.u32();
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint32_t base = r.u32();
+      Page page(kPageSize, 0);
+      r.bytes(page.data(), page.size());
+      pages_.emplace(base, std::move(page));
+    }
+  }
+
+  /// Canonical *content* serialization for the rolling state digest:
+  /// all-zero pages are skipped, so a page touched with only zeros
+  /// digests identically to an untouched page (the same equivalence
+  /// contentEquals uses). Two memories with equal contents always
+  /// produce identical bytes here, whatever their allocation history.
+  void writeCanonical(serial::Writer& w) const {
+    for (const auto& [base, page] : pages_) {
+      const bool all_zero =
+          std::all_of(page.begin(), page.end(),
+                      [](uint8_t v) { return v == 0; });
+      if (all_zero) {
+        continue;
+      }
+      w.u32(base);
+      w.bytes(page.data(), page.size());
+    }
   }
 
  private:

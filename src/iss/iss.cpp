@@ -776,6 +776,230 @@ StopReason Iss::runLoopLookup(uint64_t time_limit) {
   return stop_;
 }
 
+namespace {
+
+/// IssStats is serialized field by field, in declaration order; a new
+/// counter extends the end of this list (and bumps the snapshot format
+/// version in src/snap).
+void saveStats(serial::Writer& w, const IssStats& s) {
+  w.u64(s.instructions);
+  w.u64(s.cycles);
+  w.u64(s.pipeline_cycles);
+  w.u64(s.branch_extra);
+  w.u64(s.cache_penalty);
+  w.u64(s.blocks);
+  w.u64(s.icache_accesses);
+  w.u64(s.icache_misses);
+  w.u64(s.cond_branches);
+  w.u64(s.cond_taken);
+  w.u64(s.mispredicts);
+  w.u64(s.io_reads);
+  w.u64(s.io_writes);
+  w.u64(s.irqs_taken);
+  w.u64(s.irq_entry_cycles);
+  w.u64(s.cached_blocks);
+  w.u64(s.chain_hits);
+  w.u64(s.trace_dispatches);
+  w.u64(s.trace_blocks);
+  w.u64(s.guard_bails);
+  w.u64(s.private_slices);
+  w.u64(s.private_bails);
+}
+
+void restoreStats(serial::Reader& r, IssStats& s) {
+  s.instructions = r.u64();
+  s.cycles = r.u64();
+  s.pipeline_cycles = r.u64();
+  s.branch_extra = r.u64();
+  s.cache_penalty = r.u64();
+  s.blocks = r.u64();
+  s.icache_accesses = r.u64();
+  s.icache_misses = r.u64();
+  s.cond_branches = r.u64();
+  s.cond_taken = r.u64();
+  s.mispredicts = r.u64();
+  s.io_reads = r.u64();
+  s.io_writes = r.u64();
+  s.irqs_taken = r.u64();
+  s.irq_entry_cycles = r.u64();
+  s.cached_blocks = r.u64();
+  s.chain_hits = r.u64();
+  s.trace_dispatches = r.u64();
+  s.trace_blocks = r.u64();
+  s.guard_bails = r.u64();
+  s.private_slices = r.u64();
+  s.private_bails = r.u64();
+}
+
+/// Content fingerprint of the decoded program: a snapshot must never
+/// restore into a board running a *different* program, even one with
+/// the same instruction and leader counts — registers and memory from
+/// image A replayed over image B's code would diverge into garbage
+/// with no error.
+uint64_t programFingerprint(const core::BlockGraph& graph) {
+  serial::Writer w;
+  for (const Instr& in : graph.instrs()) {
+    w.u32(in.addr);
+    w.u8(static_cast<uint8_t>(in.opc));
+    w.u8(in.rd);
+    w.u8(in.ra);
+    w.u8(in.rb);
+    w.i32(in.imm);
+    w.u8(in.size);
+  }
+  for (const uint32_t leader : graph.leaders()) {
+    w.u32(leader);
+  }
+  return serial::fnv1a(w.data());
+}
+
+}  // namespace
+
+void Iss::saveState(serial::Writer& w) const {
+  CABT_CHECK(!private_mode_,
+             "cannot snapshot a core inside an open private slice");
+  w.tag("iss");
+  // Compatibility record: the architectural configuration and a program
+  // fingerprint. Restore requires an identical pair — a snapshot taken
+  // at one detail level or of one program must not restore into another.
+  // Dispatch mode / block-cache knobs are deliberately absent: they are
+  // host-side strategy, and a snapshot moves freely between them.
+  w.b(config_.model_timing);
+  w.b(config_.model_branch_extras);
+  w.b(icacheOn());
+  w.u32(config_.irq_entry_cycles);
+  w.u64(config_.max_instructions);
+  w.u64(programFingerprint(graph_));
+  // Architectural core state.
+  w.u32(pc_);
+  w.u8(static_cast<uint8_t>(stop_));
+  for (const uint32_t v : d_) {
+    w.u32(v);
+  }
+  for (const uint32_t v : a_) {
+    w.u32(v);
+  }
+  // Lazy-commit cycle accounting and the open block's residue.
+  w.u64(committed_cycles_);
+  w.u64(live_pipe_);
+  w.b(in_block_);
+  w.b(have_line_);
+  w.u32(last_line_);
+  w.u32(current_block_.addr);
+  w.u32(current_block_.pipeline_cycles);
+  w.u32(current_block_.branch_extra);
+  w.u32(current_block_.cache_penalty);
+  timer_.saveState(w);
+  icache_.saveState(w);
+  saveStats(w, stats_);
+  // Debug state: the breakpoint set and a pending step-over.
+  w.u32(static_cast<uint32_t>(breakpoints_.size()));
+  for (const uint32_t addr : breakpoints_) {
+    w.u32(addr);
+  }
+  w.b(skip_breakpoint_at_.has_value());
+  w.u32(skip_breakpoint_at_.value_or(0));
+  mem_.saveState(w);
+}
+
+void Iss::restoreState(serial::Reader& r) {
+  CABT_CHECK(!private_mode_,
+             "cannot restore a core inside an open private slice");
+  r.tag("iss");
+  CABT_CHECK(r.b() == config_.model_timing &&
+                 r.b() == config_.model_branch_extras && r.b() == icacheOn(),
+             "snapshot detail level does not match this core's config");
+  CABT_CHECK(r.u32() == config_.irq_entry_cycles &&
+                 r.u64() == config_.max_instructions,
+             "snapshot limits do not match this core's config");
+  CABT_CHECK(r.u64() == programFingerprint(graph_),
+             "snapshot program does not match this core's image");
+  pc_ = r.u32();
+  stop_ = static_cast<StopReason>(r.u8());
+  for (uint32_t& v : d_) {
+    v = r.u32();
+  }
+  for (uint32_t& v : a_) {
+    v = r.u32();
+  }
+  committed_cycles_ = r.u64();
+  live_pipe_ = r.u64();
+  in_block_ = r.b();
+  have_line_ = r.b();
+  last_line_ = r.u32();
+  current_block_.addr = r.u32();
+  current_block_.pipeline_cycles = r.u32();
+  current_block_.branch_extra = r.u32();
+  current_block_.cache_penalty = r.u32();
+  timer_.restoreState(r);
+  icache_.restoreState(r);
+  restoreStats(r, stats_);
+  breakpoints_.clear();
+  const uint32_t num_bps = r.u32();
+  for (uint32_t i = 0; i < num_bps; ++i) {
+    breakpoints_.insert(r.u32());
+  }
+  const bool have_skip = r.b();
+  const uint32_t skip_addr = r.u32();
+  skip_breakpoint_at_ =
+      have_skip ? std::optional<uint32_t>(skip_addr) : std::nullopt;
+  mem_.restoreState(r);
+  // Derived-state revalidation: the predecoded cache (if one exists) is
+  // still a valid decode of the immutable image, but its per-block
+  // breakpoint flags mirror the old breakpoint set — recompute every one
+  // from the restored set. Trace formation state (exec counts, formed
+  // superblocks) stays warm: traces never dispatch through a flagged
+  // block, so correctness needs only the flags.
+  if (cache_ != nullptr) {
+    for (core::ExecBlock& block : cache_->blocks()) {
+      block.has_breakpoint = blockHasBreakpoint(block) ? 1 : 0;
+    }
+  }
+  // No private slice survives a snapshot boundary.
+  bailed_shared_ = false;
+  deferred_advance_ = 0;
+  skipped_samples_ = 0;
+}
+
+void Iss::digestState(serial::Writer& w) const {
+  w.u32(pc_);
+  w.u8(static_cast<uint8_t>(stop_));
+  for (const uint32_t v : d_) {
+    w.u32(v);
+  }
+  for (const uint32_t v : a_) {
+    w.u32(v);
+  }
+  w.u64(committed_cycles_);
+  w.u64(live_pipe_);
+  w.b(in_block_);
+  w.b(have_line_);
+  // last_line_ is meaningful only while a line is tracked; when it is
+  // not, the engines leave different stale residue behind (the stepping
+  // engine writes it per line, the block engines only on mid-block
+  // re-warm) — digest the live value only.
+  w.u32(have_line_ ? last_line_ : 0);
+  timer_.saveState(w);
+  icache_.saveState(w);
+  // Architectural counters only (identical across dispatch engines).
+  w.u64(stats_.instructions);
+  w.u64(stats_.cycles);
+  w.u64(stats_.pipeline_cycles);
+  w.u64(stats_.branch_extra);
+  w.u64(stats_.cache_penalty);
+  w.u64(stats_.blocks);
+  w.u64(stats_.icache_accesses);
+  w.u64(stats_.icache_misses);
+  w.u64(stats_.cond_branches);
+  w.u64(stats_.cond_taken);
+  w.u64(stats_.mispredicts);
+  w.u64(stats_.io_reads);
+  w.u64(stats_.io_writes);
+  w.u64(stats_.irqs_taken);
+  w.u64(stats_.irq_entry_cycles);
+  mem_.writeCanonical(w);
+}
+
 std::vector<HotBlock> Iss::hotBlocks(size_t n) const {
   std::vector<HotBlock> out;
   if (cache_ == nullptr) {

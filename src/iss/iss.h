@@ -46,6 +46,7 @@
 #include "arch/arch.h"
 #include "arch/icache_model.h"
 #include "arch/timing.h"
+#include "common/serial.h"
 #include "common/sparse_mem.h"
 #include "core/block_cache.h"
 #include "core/block_graph.h"
@@ -282,6 +283,34 @@ class Iss {
   [[nodiscard]] const std::vector<BlockRecord>& blockTrace() const {
     return block_trace_;
   }
+
+  // -- snapshot support (src/snap, DESIGN.md section 9) -----------------
+  //
+  // saveState captures everything the next instruction can observe:
+  // architectural state (registers, pc, stop reason, memory) plus the
+  // micro-architectural residue of the open block (pipeline scoreboard,
+  // lazy-commit cycle accounting, icache tags/LRU, line tracking), the
+  // full IssStats record and the debug state (breakpoint set, pending
+  // step-over). The block graph, predecoded block cache and superblock
+  // traces are host-side *derived* state — a pure function of the
+  // immutable program image — and are never serialized: restoreState
+  // revalidates what exists (per-block breakpoint flags recomputed from
+  // the restored set) and anything missing rebuilds lazily, so a restore
+  // into a cold process (no warm cache, no traces) reaches the same
+  // architectural observables as the live core (tests/snap_test.cpp).
+  // Not restorable mid-private-slice: saveState refuses while a parallel
+  // prefix is open (the kernel never exposes that window between runs).
+
+  void saveState(serial::Writer& w) const;
+  void restoreState(serial::Reader& r);
+
+  /// Writes the core's contribution to the rolling state digest
+  /// (snap::digest): the architectural observables and micro-
+  /// architectural timing state only — none of the dispatch-path
+  /// counters (chain_hits, trace_*, guard_bails, private_*) that depend
+  /// on how blocks were reached — so a warm continuation and a cold
+  /// restore of the same run digest identically.
+  void digestState(serial::Writer& w) const;
 
  private:
   /// dispatchTraceT() result meaning "yield with kCycleLimit now";

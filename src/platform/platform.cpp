@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strutil.h"
+#include "snap/snapshot.h"
 
 namespace cabt::platform {
 
@@ -207,8 +208,61 @@ void ReferenceBoard::init(const arch::ArchDescription& desc,
 
 ReferenceBoard::~ReferenceBoard() = default;
 
+sim::Process* ReferenceBoard::process(size_t i) const {
+  return procs_.at(i).get();
+}
+
+void ReferenceBoard::setCheckpointing(const CheckpointConfig& config) {
+  CABT_CHECK(config.interval == 0 || config.ring >= 1,
+             "checkpoint ring must retain at least one snapshot");
+  checkpoint_ = config;
+  checkpoints_.clear();
+  digest_trail_.clear();
+}
+
+void ReferenceBoard::takeCheckpoint(sim::Cycle cycle) {
+  Checkpoint cp;
+  cp.cycle = cycle;
+  cp.digest = snap::digest(*this);
+  cp.data = snap::save(*this);
+  checkpoints_.push_back(std::move(cp));
+  while (checkpoints_.size() > checkpoint_.ring) {
+    checkpoints_.pop_front();
+  }
+  digest_trail_.emplace_back(cycle, checkpoints_.back().digest);
+}
+
+sim::Cycle ReferenceBoard::runTo(sim::Cycle limit) {
+  if (checkpoint_.interval == 0) {
+    return kernel_.run(limit);
+  }
+  // Interval-sized chunks. Chunking is behaviour-neutral: the kernel
+  // dispatches the identical (time, insertion) order whether run() is
+  // called once or per chunk (sequential trivially; parallel rounds
+  // because every shared access drains at its sequential slot anyway).
+  // Each chunk boundary lies strictly above the earliest pending event,
+  // so every iteration dispatches at least one event.
+  while (!kernel_.idle() && kernel_.nextEventAt() <= limit) {
+    const sim::Cycle base = std::max(kernel_.now(), kernel_.nextEventAt());
+    sim::Cycle next =
+        base - base % checkpoint_.interval + checkpoint_.interval;
+    if (next < base) {  // overflow near the end of the timebase
+      next = limit;
+    }
+    const sim::Cycle chunk = std::min(next, limit);
+    kernel_.run(chunk);
+    if (!kernel_.idle()) {
+      takeCheckpoint(chunk);
+    }
+    if (chunk >= limit) {
+      break;
+    }
+  }
+  return kernel_.now();
+}
+
 iss::StopReason ReferenceBoard::run() {
-  kernel_.run();
+  runTo(sim::kForever);
   for (const std::unique_ptr<iss::Iss>& core : cores_) {
     if (core->stopReason() != iss::StopReason::kHalted) {
       return core->stopReason();

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "arch/arch.h"
@@ -181,6 +183,24 @@ struct BoardConfig {
   sim::Kernel::ParallelConfig parallel;
 };
 
+/// One periodic checkpoint: the full platform snapshot (snap::save) plus
+/// the cycle it was taken at and the rolling state digest there.
+struct Checkpoint {
+  sim::Cycle cycle = 0;
+  uint64_t digest = 0;
+  std::vector<uint8_t> data;
+};
+
+/// Periodic auto-snapshot during run()/runTo(). The board runs the
+/// kernel in interval-sized chunks — chunking never changes behaviour
+/// (the dispatch order is the comparator's total order either way) — and
+/// checkpoints between chunks, keeping the most recent `ring` snapshots
+/// and the full (cycle, digest) trail. interval = 0 disables both.
+struct CheckpointConfig {
+  sim::Cycle interval = 0;
+  size_t ring = 4;
+};
+
 /// The reference board, grown into a multi-core SoC: N ISS cores (one
 /// ELF image each, private program memory) share the standard
 /// peripherals plus the interrupt path — a per-core interrupt
@@ -202,18 +222,47 @@ class ReferenceBoard {
   /// when all cores halted, else the first non-halted core's reason.
   iss::StopReason run();
 
+  /// Deterministic fast-forward: dispatches kernel events up to SoC
+  /// cycle `limit` and returns the kernel's time. Calling runTo in any
+  /// sequence of limits is bit-identical to one uninterrupted run — this
+  /// is how a restored snapshot replays to an arbitrary cycle. Honors
+  /// the checkpoint configuration.
+  sim::Cycle runTo(sim::Cycle limit);
+
+  /// Enables periodic auto-snapshotting (see CheckpointConfig). Call
+  /// before run()/runTo(); reconfiguring clears the ring and the trail.
+  void setCheckpointing(const CheckpointConfig& config);
+  /// The retained snapshot ring, oldest first.
+  [[nodiscard]] const std::deque<Checkpoint>& checkpoints() const {
+    return checkpoints_;
+  }
+  /// Every (cycle, digest) pair recorded at checkpoint boundaries since
+  /// checkpointing was enabled — the replay ledger golden-state checks
+  /// compare against.
+  [[nodiscard]] const std::vector<std::pair<sim::Cycle, uint64_t>>&
+  digestTrail() const {
+    return digest_trail_;
+  }
+
   [[nodiscard]] size_t numCores() const { return cores_.size(); }
   [[nodiscard]] iss::Iss& core(size_t i) { return *cores_.at(i); }
   [[nodiscard]] const iss::Iss& core(size_t i) const { return *cores_.at(i); }
   [[nodiscard]] iss::Iss& iss() { return *cores_.front(); }
   [[nodiscard]] const iss::Iss& iss() const { return *cores_.front(); }
   [[nodiscard]] soc::StandardPeripherals& board() { return *board_; }
+  [[nodiscard]] const soc::StandardPeripherals& board() const {
+    return *board_;
+  }
   [[nodiscard]] soc::InterruptController& intc(size_t i) {
     return *intcs_.at(i);
   }
   [[nodiscard]] soc::ProgrammableTimer& ptimer() { return *ptimer_; }
   [[nodiscard]] soc::MailboxDevice& mailbox() { return *mailbox_; }
   [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] const sim::Kernel& kernel() const { return kernel_; }
+  /// The event-kernel process hosting core `i` (snapshot identity: the
+  /// kernel queue serializes processes by this index).
+  [[nodiscard]] sim::Process* process(size_t i) const;
 
  private:
   class CoreProcess;
@@ -221,8 +270,12 @@ class ReferenceBoard {
   void init(const arch::ArchDescription& desc,
             const std::vector<const elf::Object*>& images,
             const BoardConfig& config);
+  void takeCheckpoint(sim::Cycle cycle);
 
   sim::Kernel kernel_;
+  CheckpointConfig checkpoint_;
+  std::deque<Checkpoint> checkpoints_;
+  std::vector<std::pair<sim::Cycle, uint64_t>> digest_trail_;
   std::unique_ptr<soc::StandardPeripherals> board_;
   std::vector<std::unique_ptr<soc::InterruptController>> intcs_;
   std::unique_ptr<soc::ProgrammableTimer> ptimer_;

@@ -152,6 +152,62 @@ Kernel::Kernel(Cycle quantum) : quantum_(quantum) {
 
 Kernel::~Kernel() = default;
 
+void Kernel::saveState(
+    serial::Writer& w,
+    const std::function<uint32_t(Process*)>& index_of) const {
+  w.tag("kernel");
+  w.u64(now_);
+  w.u64(quantum_);
+  w.u64(seq_);
+  w.u64(dispatched_);
+  w.u64(rounds_);
+  w.u64(prefixes_);
+  // Canonical event order (the comparator's total order), so the bytes
+  // do not depend on the incidental heap layout.
+  std::vector<Ev> sorted;
+  sorted.reserve(queue_.size());
+  for (const Ev& ev : queue_) {
+    CABT_CHECK(ev.proc != nullptr,
+               "cannot snapshot a kernel holding schedule() callbacks");
+    sorted.push_back(Ev{ev.at, ev.seq, ev.proc, {}});
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Ev& a, const Ev& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  });
+  w.u32(static_cast<uint32_t>(sorted.size()));
+  for (const Ev& ev : sorted) {
+    w.u64(ev.at);
+    w.u64(ev.seq);
+    w.u32(index_of(ev.proc));
+  }
+}
+
+void Kernel::restoreState(
+    serial::Reader& r,
+    const std::function<Process*(uint32_t)>& process_at) {
+  r.tag("kernel");
+  now_ = r.u64();
+  const uint64_t quantum = r.u64();
+  CABT_CHECK(quantum == quantum_,
+             "snapshot quantum " << quantum << " does not match this "
+                                 << "kernel's " << quantum_);
+  seq_ = r.u64();
+  dispatched_ = r.u64();
+  rounds_ = r.u64();
+  prefixes_ = r.u64();
+  queue_.clear();
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    Ev ev;
+    ev.at = r.u64();
+    ev.seq = r.u64();
+    ev.proc = process_at(r.u32());
+    CABT_CHECK(ev.proc != nullptr, "snapshot names an unknown process");
+    queue_.push_back(std::move(ev));
+  }
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+}
+
 void Kernel::dispatchOne() {
   std::pop_heap(queue_.begin(), queue_.end(), Later{});
   Ev ev = std::move(queue_.back());

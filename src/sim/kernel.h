@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/serial.h"
 
 namespace cabt::sim {
 
@@ -200,6 +201,12 @@ class Kernel {
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
+  /// Timestamp of the earliest pending event, or kForever when idle (the
+  /// platform's checkpointing loop sizes its chunks from this).
+  [[nodiscard]] Cycle nextEventAt() const {
+    return queue_.empty() ? kForever : queue_.front().at;
+  }
+
   /// Dispatches events in (time, insertion) order until the queue is
   /// empty or the next event lies beyond `limit`. Returns global time.
   /// With ParallelConfig enabled the dispatch order — and therefore the
@@ -211,6 +218,26 @@ class Kernel {
   /// total prefixes handed to the pool (the bench's utilisation signal).
   [[nodiscard]] uint64_t parallelRounds() const { return rounds_; }
   [[nodiscard]] uint64_t parallelPrefixes() const { return prefixes_; }
+
+  // -- snapshot support (src/snap, DESIGN.md section 9) -----------------
+  //
+  // The queue holds the process phases of the platform: one pending
+  // activation time per live process. Processes are identified through
+  // the caller's mapping (the platform owns the process list and its
+  // order); one-shot schedule() callbacks cannot be serialized, so a
+  // queue holding one refuses to save. Snapshots are taken between run()
+  // calls only — never inside a parallel round (no round is open then,
+  // so no prefix state exists outside the queue).
+
+  /// Saves global time, the dispatch counters and every queued event as
+  /// (time, insertion-order, process index).
+  void saveState(serial::Writer& w,
+                 const std::function<uint32_t(Process*)>& index_of) const;
+
+  /// Replaces the queue and clock with a saved image; `process_at` must
+  /// invert the mapping save used.
+  void restoreState(serial::Reader& r,
+                    const std::function<Process*(uint32_t)>& process_at);
 
  private:
   struct Ev {

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/serial.h"
+
 namespace cabt::soc {
 
 class Device {
@@ -46,6 +48,20 @@ class Device {
       clockCycle(c);
     }
   }
+
+  // -- snapshot support (src/snap, DESIGN.md section 9) -----------------
+  //
+  // SocBus::saveState serializes every attached device through these, in
+  // window-attachment order, each section framed with the device's name
+  // and a byte length (so a device whose format drifts fails loudly on
+  // restore). The defaults serialize nothing — correct for genuinely
+  // stateless devices; every stock device with observable state
+  // (peripherals.h, interrupts.h) overrides both. A device that keeps
+  // state but skips the override silently diverges after restore, which
+  // is why tests/snap_test.cpp compares full device state.
+
+  virtual void saveState(serial::Writer& w) const { (void)w; }
+  virtual void restoreState(serial::Reader& r) { (void)r; }
 
  private:
   std::string name_;

@@ -163,6 +163,34 @@ class InterruptController : public Device, public IrqSource {
 
   void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
 
+  /// All interrupt state is architectural: a restored controller must
+  /// deliver (or mask) exactly as the live one would, and the delivery
+  /// timestamps are a compared observable of the differential fleets.
+  void saveState(serial::Writer& w) const override {
+    w.u32(raw_);
+    w.u32(enable_);
+    w.u32(vector_);
+    w.b(master_enable_);
+    w.b(in_service_);
+    w.u64(irqs_taken_);
+    w.u32(static_cast<uint32_t>(delivery_times_.size()));
+    for (const uint64_t t : delivery_times_) {
+      w.u64(t);
+    }
+  }
+  void restoreState(serial::Reader& r) override {
+    raw_ = r.u32();
+    enable_ = r.u32();
+    vector_ = r.u32();
+    master_enable_ = r.b();
+    in_service_ = r.b();
+    irqs_taken_ = r.u64();
+    delivery_times_.resize(r.u32());
+    for (uint64_t& t : delivery_times_) {
+      t = r.u64();
+    }
+  }
+
  private:
   static constexpr size_t kMaxDeliveryLog = 65536;
 
@@ -263,6 +291,24 @@ class ProgrammableTimer : public Device {
         enabled_ = false;
       }
     }
+  }
+
+  /// IRQ routing is construction-time wiring; the counter phase
+  /// (next_expiry_) is what makes restored timer behaviour a pure
+  /// function of timestamps again.
+  void saveState(serial::Writer& w) const override {
+    w.u32(load_);
+    w.b(enabled_);
+    w.b(periodic_);
+    w.u64(next_expiry_);
+    w.u64(expiries_);
+  }
+  void restoreState(serial::Reader& r) override {
+    load_ = r.u32();
+    enabled_ = r.b();
+    periodic_ = r.b();
+    next_expiry_ = r.u64();
+    expiries_ = r.u64();
   }
 
  private:

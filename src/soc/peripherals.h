@@ -43,6 +43,9 @@ class TimerDevice : public Device {
   /// Free-running count is a pure function of elapsed time.
   void advanceTo(uint64_t from, uint64_t to) override { count_ += to - from; }
 
+  void saveState(serial::Writer& w) const override { w.u64(count_); }
+  void restoreState(serial::Reader& r) override { count_ = r.u64(); }
+
   [[nodiscard]] uint64_t count() const { return count_; }
 
  private:
@@ -68,6 +71,21 @@ class CharDevice : public Device {
   }
 
   void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
+
+  void saveState(serial::Writer& w) const override {
+    w.str(output_);
+    w.u32(static_cast<uint32_t>(stamps_.size()));
+    for (const uint64_t s : stamps_) {
+      w.u64(s);
+    }
+  }
+  void restoreState(serial::Reader& r) override {
+    output_ = r.str();
+    stamps_.resize(r.u32());
+    for (uint64_t& s : stamps_) {
+      s = r.u64();
+    }
+  }
 
   [[nodiscard]] const std::string& output() const { return output_; }
   /// SoC cycle at which each character was written.
@@ -97,6 +115,17 @@ class ScratchDevice : public Device {
   }
 
   void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
+
+  void saveState(serial::Writer& w) const override {
+    for (const uint32_t v : regs_) {
+      w.u32(v);
+    }
+  }
+  void restoreState(serial::Reader& r) override {
+    for (uint32_t& v : regs_) {
+      v = r.u32();
+    }
+  }
 
   [[nodiscard]] uint32_t reg(size_t i) const { return regs_.at(i); }
 
@@ -159,6 +188,27 @@ class MailboxDevice : public Device {
   }
 
   void advanceTo(uint64_t, uint64_t) override {}  // no per-cycle state
+
+  /// Doorbell wiring is construction-time; only the FIFO and its
+  /// counters are run-time state.
+  void saveState(serial::Writer& w) const override {
+    for (const uint32_t v : fifo_) {
+      w.u32(v);
+    }
+    w.u32(static_cast<uint32_t>(head_));
+    w.u32(static_cast<uint32_t>(count_));
+    w.u64(pushes_);
+    w.u64(dropped_);
+  }
+  void restoreState(serial::Reader& r) override {
+    for (uint32_t& v : fifo_) {
+      v = r.u32();
+    }
+    head_ = r.u32();
+    count_ = r.u32();
+    pushes_ = r.u64();
+    dropped_ = r.u64();
+  }
 
   /// Connects doorbell index `bell` (the value software writes to offset
   /// 0x8) to `ring` — typically InterruptController::raise of a core.

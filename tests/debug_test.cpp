@@ -3,6 +3,9 @@
 // breakpoints, image switching, register-name translation.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/serial.h"
 #include "debug/debugger.h"
 #include "iss/iss.h"
 #include "trc/assembler.h"
@@ -279,6 +282,78 @@ TEST(IssBreakpoints, BlockAndSteppingEnginesStopIdentically) {
   ASSERT_EQ(fast.run(), iss::StopReason::kHalted);
   ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
   EXPECT_EQ(fast.stats().cycles, slow.stats().cycles);
+}
+
+// ---- snapshot save/restore under breakpoints -----------------------------
+
+// A core saved while stopped *at* a breakpoint (mid-block, pending
+// step-over) must restore into a cold core that resumes exactly like the
+// live one: the stopped-at instruction executes on resume (no double
+// break), and the next crossing stops at the identical instruction and
+// cycle counts.
+TEST(IssBreakpoints, SaveRestoreWhileStoppedAtBreakpoint) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss live(defaultArch(), obj);
+  live.addBreakpoint(0x80000010);
+  ASSERT_EQ(live.run(), iss::StopReason::kDebugBreak);
+  ASSERT_EQ(live.run(), iss::StopReason::kDebugBreak);  // second crossing
+  serial::Writer w;
+  live.saveState(w);
+  const std::vector<uint8_t> snapshot = w.take();
+
+  ASSERT_EQ(live.run(), iss::StopReason::kDebugBreak);  // third crossing
+  const uint64_t want_instr = live.stats().instructions;
+  const uint64_t want_cycles = live.stats().cycles;
+
+  iss::Iss cold(defaultArch(), obj);
+  serial::Reader r(snapshot);
+  cold.restoreState(r);
+  EXPECT_EQ(cold.stopReason(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(cold.pc(), 0x80000010u);
+  EXPECT_EQ(cold.breakpoints().size(), 1u);
+  ASSERT_EQ(cold.run(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(cold.pc(), 0x80000010u);
+  EXPECT_EQ(cold.stats().instructions, want_instr);
+  EXPECT_EQ(cold.stats().cycles, want_cycles);
+
+  // Both finish identically after the breakpoint is lifted.
+  live.removeBreakpoint(0x80000010);
+  cold.removeBreakpoint(0x80000010);
+  ASSERT_EQ(live.run(), iss::StopReason::kHalted);
+  ASSERT_EQ(cold.run(), iss::StopReason::kHalted);
+  EXPECT_EQ(cold.stats().instructions, live.stats().instructions);
+  EXPECT_EQ(cold.stats().cycles, live.stats().cycles);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(cold.d(i), live.d(i)) << "d" << i;
+  }
+}
+
+// Restoring into a core whose block cache ran hot with *no* breakpoints
+// must revalidate the per-block breakpoint flags from the restored set —
+// the warm cached inner block may not dispatch past the restored
+// mid-block breakpoint, however hot it is.
+TEST(IssBreakpoints, RestoredBreakpointSetRevalidatesHotBlocks) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  // Donor: stopped at the staging leader, then a breakpoint planted
+  // mid-way inside the hot inner block (the Phase-2 state of
+  // MidBlockBreakpointInHotCachedBlockFallsBack).
+  iss::Iss donor(defaultArch(), obj);
+  donor.addBreakpoint(0x80000018);
+  ASSERT_EQ(donor.run(), iss::StopReason::kDebugBreak);
+  donor.removeBreakpoint(0x80000018);
+  donor.addBreakpoint(0x80000010);
+  serial::Writer w;
+  donor.saveState(w);
+
+  // Target: the same program run hot to completion with clean per-block
+  // flags, then rewound via the snapshot.
+  iss::Iss target(defaultArch(), obj);
+  ASSERT_EQ(target.run(), iss::StopReason::kHalted);
+  serial::Reader r(w.data());
+  target.restoreState(r);
+  ASSERT_EQ(target.run(), iss::StopReason::kDebugBreak);
+  EXPECT_EQ(target.pc(), 0x80000010u);
+  EXPECT_EQ(target.stats().instructions, 87u);  // the live run's count
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "iss/iss.h"
 #include "platform/platform.h"
 #include "rtlsim/rtlsim.h"
+#include "snap/snapshot.h"
 #include "trc/assembler.h"
 #include "xlat/translator.h"
 
@@ -402,6 +403,115 @@ TEST_P(MultiCoreRandomPrograms, ParallelKernelBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiCoreRandomPrograms,
                          ::testing::Range<uint32_t>(1, 13));
+
+// ---- snapshot round-trip fuzz ---------------------------------------
+//
+// Random multi-core boards (private compute plus shared mailbox/scratch
+// chatter), snapshotted at a random mid-run cycle and restored into a
+// completely fresh platform. Every observable — per-core stats,
+// registers, the full bus transaction log and the rolling state digest —
+// must match an uninterrupted run bit-exactly. Odd seeds run under the
+// parallel-round kernel, so the save point also lands between parallel
+// rounds.
+
+class SnapshotFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SnapshotFuzz, RandomCycleSaveRestoreBitIdentical) {
+  const uint32_t seed = seedBase() + GetParam();
+  SCOPED_TRACE("seed: " + std::to_string(seed) + " (CABT_TEST_SEED base " +
+               std::to_string(seedBase()) + " + param " +
+               std::to_string(GetParam()) + ")");
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  std::vector<elf::Object> images;
+  std::vector<const elf::Object*> ptrs;
+  for (uint32_t core = 0; core < 3; ++core) {
+    ProgramGenerator gen(seed + 1000 * core, /*shared_traffic=*/true);
+    images.push_back(trc::assemble(gen.generate()));
+  }
+  for (const elf::Object& obj : images) {
+    ptrs.push_back(&obj);
+  }
+  const bool parallel = GetParam() % 2 == 1;
+  const auto build = [&] {
+    platform::BoardConfig cfg;
+    cfg.quantum = 256;
+    cfg.parallel.enabled = parallel;
+    cfg.parallel.workers = 2;
+    return std::make_unique<platform::ReferenceBoard>(desc, ptrs, cfg);
+  };
+
+  struct Obs {
+    std::vector<iss::IssStats> stats;
+    std::vector<std::array<uint32_t, 32>> regs;
+    std::vector<uint32_t> pc;
+    std::vector<soc::Transaction> log;
+    uint64_t bus_cycle = 0;
+    uint64_t digest = 0;
+  };
+  const auto observe = [](platform::ReferenceBoard& board) {
+    Obs o;
+    for (size_t i = 0; i < board.numCores(); ++i) {
+      o.stats.push_back(board.core(i).stats());
+      std::array<uint32_t, 32> regs{};
+      for (int j = 0; j < 16; ++j) {
+        regs[static_cast<size_t>(j)] = board.core(i).d(j);
+        regs[static_cast<size_t>(j) + 16] = board.core(i).a(j);
+      }
+      o.regs.push_back(regs);
+      o.pc.push_back(board.core(i).pc());
+    }
+    o.log = board.board().bus.log();
+    o.bus_cycle = board.board().bus.socCycle();
+    o.digest = snap::digest(board);
+    return o;
+  };
+
+  std::unique_ptr<platform::ReferenceBoard> ref = build();
+  ASSERT_EQ(ref->run(), iss::StopReason::kHalted);
+  const Obs want = observe(*ref);
+  // A seed-derived random save point anywhere inside the run. Short
+  // programs can retire within the first kernel activation (global time
+  // never advances past 0); the bus clock still measures the run's
+  // span, and a post-halt save degenerates to a (valid) halted-state
+  // round trip.
+  const sim::Cycle end = std::max<uint64_t>(want.bus_cycle, 1);
+  std::mt19937 cut_rng(seed * 2654435761u);
+  const sim::Cycle save_at = 1 + cut_rng() % end;
+  SCOPED_TRACE("save at cycle " + std::to_string(save_at) + " of " +
+               std::to_string(end));
+
+  std::unique_ptr<platform::ReferenceBoard> saved = build();
+  saved->runTo(save_at);
+  const std::vector<uint8_t> snapshot = snap::save(*saved);
+
+  std::unique_ptr<platform::ReferenceBoard> fresh = build();
+  snap::restore(*fresh, snapshot);
+  ASSERT_EQ(fresh->run(), iss::StopReason::kHalted);
+  const Obs got = observe(*fresh);
+
+  ASSERT_EQ(got.stats.size(), want.stats.size());
+  for (size_t i = 0; i < want.stats.size(); ++i) {
+    SCOPED_TRACE("core " + std::to_string(i));
+    EXPECT_EQ(got.stats[i].instructions, want.stats[i].instructions);
+    EXPECT_EQ(got.stats[i].cycles, want.stats[i].cycles);
+    EXPECT_EQ(got.stats[i].io_reads, want.stats[i].io_reads);
+    EXPECT_EQ(got.stats[i].io_writes, want.stats[i].io_writes);
+    EXPECT_EQ(got.regs[i], want.regs[i]);
+    EXPECT_EQ(got.pc[i], want.pc[i]);
+  }
+  EXPECT_EQ(got.bus_cycle, want.bus_cycle);
+  EXPECT_EQ(got.digest, want.digest);
+  ASSERT_EQ(got.log.size(), want.log.size());
+  for (size_t i = 0; i < want.log.size(); ++i) {
+    EXPECT_EQ(got.log[i].soc_cycle, want.log[i].soc_cycle) << "txn " << i;
+    EXPECT_EQ(got.log[i].addr, want.log[i].addr) << "txn " << i;
+    EXPECT_EQ(got.log[i].value, want.log[i].value) << "txn " << i;
+    EXPECT_EQ(got.log[i].is_write, want.log[i].is_write) << "txn " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz,
+                         ::testing::Range<uint32_t>(1, 11));
 
 }  // namespace
 }  // namespace cabt

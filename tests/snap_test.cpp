@@ -1,0 +1,421 @@
+// Differential conformance fleet for the checkpoint/restore subsystem
+// (src/snap, DESIGN.md section 9).
+//
+// The claim under test: a snapshot is the *complete* observable state of
+// the platform. For every detail level, every dispatch mode and both
+// kernels (sequential and parallel rounds),
+//
+//   run-to-T, save, continue          (the saved board)
+//   fresh board, restore, continue    (a cold process: no warm block
+//                                      cache, no superblock traces)
+//   halted board, restore, continue   (a warm process re-restored)
+//
+// all reach observables bit-identical to one uninterrupted run: cycles,
+// registers, memory checksums, IRQ delivery timestamps, the full bus
+// transaction log, device state and the rolling state digest. The cold
+// path is the hard part — it proves the predecoded block caches and
+// traces really are derived state that rebuilds to the same
+// architectural behaviour.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "snap/snapshot.h"
+#include "soc/bus.h"
+#include "workloads/workloads.h"
+
+namespace cabt {
+namespace {
+
+struct GridBoard {
+  std::vector<const workloads::Workload*> programs;
+  std::vector<elf::Object> images;
+  std::vector<const elf::Object*> image_ptrs;
+  std::vector<uint32_t> extra_leaders;
+};
+
+GridBoard makeBoard(const std::vector<std::string>& names) {
+  GridBoard b;
+  for (const std::string& name : names) {
+    b.programs.push_back(&workloads::get(name));
+  }
+  for (const workloads::Workload* w : b.programs) {
+    b.images.push_back(workloads::assemble(*w));
+    if (!w->irq_handler.empty()) {
+      b.extra_leaders.push_back(
+          platform::symbolAddr(b.images.back(), w->irq_handler));
+    }
+  }
+  for (const elf::Object& obj : b.images) {
+    b.image_ptrs.push_back(&obj);
+  }
+  return b;
+}
+
+struct RunConfig {
+  xlat::DetailLevel level = xlat::DetailLevel::kICache;
+  iss::DispatchMode mode = iss::DispatchMode::kChainedTraces;
+  bool use_block_cache = true;
+  bool parallel = false;
+  sim::Cycle quantum = 1024;
+};
+
+std::unique_ptr<platform::ReferenceBoard> buildBoard(const GridBoard& grid,
+                                                     const RunConfig& rc) {
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  platform::BoardConfig cfg;
+  cfg.iss = platform::issConfigFor(rc.level);
+  cfg.iss.dispatch_mode = rc.mode;
+  cfg.iss.use_block_cache = rc.use_block_cache;
+  cfg.iss.extra_leaders = grid.extra_leaders;
+  cfg.quantum = rc.quantum;
+  cfg.parallel.enabled = rc.parallel;
+  cfg.parallel.workers = 2;  // real threads even on 1-core hosts
+  return std::make_unique<platform::ReferenceBoard>(desc, grid.image_ptrs,
+                                                    cfg);
+}
+
+/// Every observable the acceptance criteria name, plus the digest.
+struct BoardObs {
+  std::vector<iss::IssStats> stats;
+  std::vector<iss::StopReason> stop;
+  std::vector<uint32_t> pc;
+  std::vector<std::array<uint32_t, 16>> d;
+  std::vector<std::array<uint32_t, 16>> a;
+  std::vector<uint32_t> checksum;
+  std::vector<std::vector<uint64_t>> irq_times;
+  std::vector<uint32_t> intc_pending;
+  uint64_t bus_cycle = 0;
+  uint64_t timer_expiries = 0;
+  uint64_t mailbox_pushes = 0;
+  uint64_t mailbox_dropped = 0;
+  size_t mailbox_depth = 0;
+  std::array<uint32_t, 16> scratch{};
+  std::vector<soc::Transaction> bus_log;
+  uint64_t kernel_events = 0;
+  uint64_t digest = 0;
+};
+
+BoardObs capture(platform::ReferenceBoard& board, const GridBoard& grid) {
+  BoardObs s;
+  for (size_t i = 0; i < board.numCores(); ++i) {
+    s.stats.push_back(board.core(i).stats());
+    s.stop.push_back(board.core(i).stopReason());
+    s.pc.push_back(board.core(i).pc());
+    std::array<uint32_t, 16> d{};
+    std::array<uint32_t, 16> a{};
+    for (int r = 0; r < 16; ++r) {
+      d[static_cast<size_t>(r)] = board.core(i).d(r);
+      a[static_cast<size_t>(r)] = board.core(i).a(r);
+    }
+    s.d.push_back(d);
+    s.a.push_back(a);
+    s.checksum.push_back(
+        workloads::readChecksum(grid.images[i], board.core(i).memory()));
+    s.irq_times.push_back(board.intc(i).deliveryTimes());
+    s.intc_pending.push_back(board.intc(i).pending());
+  }
+  s.bus_cycle = board.board().bus.socCycle();
+  s.timer_expiries = board.ptimer().expiries();
+  s.mailbox_pushes = board.mailbox().pushes();
+  s.mailbox_dropped = board.mailbox().dropped();
+  s.mailbox_depth = board.mailbox().depth();
+  for (size_t r = 0; r < 16; ++r) {
+    s.scratch[r] = board.board().scratch.reg(r);
+  }
+  s.bus_log = board.board().bus.log();
+  s.kernel_events = board.kernel().eventsDispatched();
+  s.digest = snap::digest(board);
+  return s;
+}
+
+/// Architectural equality only: the dispatch-path counters (cached_
+/// blocks, chain_hits, trace_*, guard_bails, private_*) legitimately
+/// differ between a warm continuation and a cold restore.
+void expectIdentical(const BoardObs& got, const BoardObs& want) {
+  ASSERT_EQ(got.stats.size(), want.stats.size());
+  for (size_t i = 0; i < got.stats.size(); ++i) {
+    SCOPED_TRACE("core " + std::to_string(i));
+    const iss::IssStats& g = got.stats[i];
+    const iss::IssStats& w = want.stats[i];
+    EXPECT_EQ(g.instructions, w.instructions);
+    EXPECT_EQ(g.cycles, w.cycles);
+    EXPECT_EQ(g.pipeline_cycles, w.pipeline_cycles);
+    EXPECT_EQ(g.branch_extra, w.branch_extra);
+    EXPECT_EQ(g.cache_penalty, w.cache_penalty);
+    EXPECT_EQ(g.blocks, w.blocks);
+    EXPECT_EQ(g.icache_accesses, w.icache_accesses);
+    EXPECT_EQ(g.icache_misses, w.icache_misses);
+    EXPECT_EQ(g.cond_branches, w.cond_branches);
+    EXPECT_EQ(g.cond_taken, w.cond_taken);
+    EXPECT_EQ(g.mispredicts, w.mispredicts);
+    EXPECT_EQ(g.io_reads, w.io_reads);
+    EXPECT_EQ(g.io_writes, w.io_writes);
+    EXPECT_EQ(g.irqs_taken, w.irqs_taken);
+    EXPECT_EQ(g.irq_entry_cycles, w.irq_entry_cycles);
+    EXPECT_EQ(got.stop[i], want.stop[i]);
+    EXPECT_EQ(got.pc[i], want.pc[i]);
+    EXPECT_EQ(got.d[i], want.d[i]);
+    EXPECT_EQ(got.a[i], want.a[i]);
+    EXPECT_EQ(got.checksum[i], want.checksum[i]);
+    EXPECT_EQ(got.irq_times[i], want.irq_times[i])
+        << "IRQ delivery timestamps";
+    EXPECT_EQ(got.intc_pending[i], want.intc_pending[i]);
+  }
+  EXPECT_EQ(got.bus_cycle, want.bus_cycle);
+  EXPECT_EQ(got.timer_expiries, want.timer_expiries);
+  EXPECT_EQ(got.mailbox_pushes, want.mailbox_pushes);
+  EXPECT_EQ(got.mailbox_dropped, want.mailbox_dropped);
+  EXPECT_EQ(got.mailbox_depth, want.mailbox_depth);
+  EXPECT_EQ(got.scratch, want.scratch);
+  EXPECT_EQ(got.kernel_events, want.kernel_events);
+  EXPECT_EQ(got.digest, want.digest) << "rolling state digest";
+  ASSERT_EQ(got.bus_log.size(), want.bus_log.size());
+  for (size_t i = 0; i < got.bus_log.size(); ++i) {
+    const soc::Transaction& a = got.bus_log[i];
+    const soc::Transaction& b = want.bus_log[i];
+    EXPECT_EQ(a.soc_cycle, b.soc_cycle) << "transaction " << i;
+    EXPECT_EQ(a.addr, b.addr) << "transaction " << i;
+    EXPECT_EQ(a.value, b.value) << "transaction " << i;
+    EXPECT_EQ(a.size, b.size) << "transaction " << i;
+    EXPECT_EQ(a.is_write, b.is_write) << "transaction " << i;
+  }
+}
+
+constexpr sim::Cycle kSaveAt = 1500;  // mid-run at every detail level
+
+/// One configuration's full round trip: uninterrupted reference vs
+/// (a) the saved board continuing after save (save has no side effects,
+///     and a split kernel run is behaviour-neutral),
+/// (b) a cold fresh board restored from the snapshot, and
+/// (c) the halted saved board re-restored and re-run (a warm process
+///     with stale block-cache statistics, re-winding time).
+void roundTrip(const GridBoard& grid, const RunConfig& rc) {
+  auto ref = buildBoard(grid, rc);
+  ref->run();
+  const BoardObs want = capture(*ref, grid);
+
+  auto saved = buildBoard(grid, rc);
+  saved->runTo(kSaveAt);
+  const std::vector<uint8_t> snapshot = snap::save(*saved);
+  saved->run();
+  {
+    SCOPED_TRACE("continue after save");
+    expectIdentical(capture(*saved, grid), want);
+  }
+
+  auto cold = buildBoard(grid, rc);
+  snap::restore(*cold, snapshot);
+  cold->run();
+  {
+    SCOPED_TRACE("cold restore");
+    expectIdentical(capture(*cold, grid), want);
+  }
+
+  snap::restore(*saved, snapshot);  // rewind the halted warm board
+  saved->run();
+  {
+    SCOPED_TRACE("warm re-restore");
+    expectIdentical(capture(*saved, grid), want);
+  }
+}
+
+// ---- the differential grid -------------------------------------------
+
+struct GridParam {
+  iss::DispatchMode mode;
+  bool parallel;
+};
+
+class SnapshotGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SnapshotGrid, SaveRestoreRunIsBitIdentical) {
+  const auto [mode, parallel] = GetParam();
+  const GridBoard grid = makeBoard({"mc_producer", "mc_consumer"});
+  for (const xlat::DetailLevel level :
+       {xlat::DetailLevel::kFunctional, xlat::DetailLevel::kStatic,
+        xlat::DetailLevel::kBranchPredict, xlat::DetailLevel::kICache}) {
+    SCOPED_TRACE(xlat::detailLevelName(level));
+    RunConfig rc;
+    rc.level = level;
+    rc.mode = mode;
+    rc.parallel = parallel;
+    roundTrip(grid, rc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SnapshotGrid,
+    ::testing::Values(GridParam{iss::DispatchMode::kLookup, false},
+                      GridParam{iss::DispatchMode::kChained, false},
+                      GridParam{iss::DispatchMode::kChainedTraces, false},
+                      GridParam{iss::DispatchMode::kLookup, true},
+                      GridParam{iss::DispatchMode::kChained, true},
+                      GridParam{iss::DispatchMode::kChainedTraces, true}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      const char* mode =
+          info.param.mode == iss::DispatchMode::kLookup ? "lookup"
+          : info.param.mode == iss::DispatchMode::kChained
+              ? "chained"
+              : "traces";
+      return std::string(mode) + (info.param.parallel ? "_par" : "_seq");
+    });
+
+// The stepping engine can carry an *open block* across a quantum yield
+// (the commit is lazy, so the pipeline scoreboard and line tracking are
+// live at the save point) — the snapshot must capture that residue.
+TEST(SnapshotGrid, SteppingEngineSavesOpenBlockResidue) {
+  const GridBoard grid = makeBoard({"mc_producer", "mc_consumer"});
+  RunConfig rc;
+  rc.use_block_cache = false;
+  rc.mode = iss::DispatchMode::kLookup;
+  for (const sim::Cycle quantum : {16u, 1024u}) {
+    SCOPED_TRACE("quantum " + std::to_string(quantum));
+    RunConfig q = rc;
+    q.quantum = quantum;
+    roundTrip(grid, q);
+  }
+}
+
+// The single-core interrupt scenario: a snapshot taken between two of
+// the eight timer deliveries must preserve the interrupt phase exactly
+// (in-service flag, pending lines, timer next-expiry).
+TEST(SnapshotGrid, InterruptPhaseSurvivesRestore) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  for (const bool parallel : {false, true}) {
+    SCOPED_TRACE(parallel ? "parallel" : "sequential");
+    RunConfig rc;
+    rc.parallel = parallel;
+    roundTrip(grid, rc);
+  }
+}
+
+// ---- deterministic replay --------------------------------------------
+
+TEST(Replay, RunToIsChunkInvariant) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  const RunConfig rc;
+  auto whole = buildBoard(grid, rc);
+  whole->run();
+  const BoardObs want = capture(*whole, grid);
+
+  auto chunked = buildBoard(grid, rc);
+  chunked->runTo(700);
+  chunked->runTo(1900);
+  chunked->runTo(sim::kForever);
+  expectIdentical(capture(*chunked, grid), want);
+}
+
+TEST(Replay, AutoSnapshotRingRetainsAndReplays) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  const RunConfig rc;
+  auto ref = buildBoard(grid, rc);
+  ref->run();
+  const BoardObs want = capture(*ref, grid);
+
+  auto board = buildBoard(grid, rc);
+  board->setCheckpointing({512, 2});
+  board->run();
+  // Checkpointed execution is behaviour-neutral.
+  expectIdentical(capture(*board, grid), want);
+  // The ring dropped down to the 2 most recent snapshots while the
+  // trail recorded every boundary, strictly increasing.
+  EXPECT_EQ(board->checkpoints().size(), 2u);
+  EXPECT_GT(board->digestTrail().size(), board->checkpoints().size());
+  for (size_t i = 1; i < board->digestTrail().size(); ++i) {
+    EXPECT_LT(board->digestTrail()[i - 1].first,
+              board->digestTrail()[i].first);
+  }
+  // Fast-forward replay: restore the oldest retained snapshot into a
+  // cold board and run to completion — same observables again.
+  auto replay = buildBoard(grid, rc);
+  snap::restore(*replay, board->checkpoints().front().data);
+  replay->run();
+  expectIdentical(capture(*replay, grid), want);
+  // And the digest recorded at that checkpoint matches the restored
+  // board's digest before it runs (restore is digest-preserving).
+  auto replay2 = buildBoard(grid, rc);
+  snap::restore(*replay2, board->checkpoints().back().data);
+  EXPECT_EQ(snap::digest(*replay2), board->checkpoints().back().digest);
+}
+
+// The digest excludes host-side dispatch-path state by design: every
+// engine — and the parallel kernel — produces the identical value.
+TEST(Replay, DigestIsDispatchModeIndependent) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  RunConfig base;
+  auto ref = buildBoard(grid, base);
+  ref->run();
+  const uint64_t want = snap::digest(*ref);
+  for (const iss::DispatchMode mode :
+       {iss::DispatchMode::kLookup, iss::DispatchMode::kChained}) {
+    RunConfig rc;
+    rc.mode = mode;
+    auto board = buildBoard(grid, rc);
+    board->run();
+    EXPECT_EQ(snap::digest(*board), want);
+  }
+  RunConfig stepping;
+  stepping.use_block_cache = false;
+  auto board = buildBoard(grid, stepping);
+  board->run();
+  EXPECT_EQ(snap::digest(*board), want);
+  RunConfig par;
+  par.parallel = true;
+  auto pboard = buildBoard(grid, par);
+  pboard->run();
+  EXPECT_EQ(snap::digest(*pboard), want);
+}
+
+// ---- format safety ----------------------------------------------------
+
+TEST(SnapshotFormat, RejectsCorruptionTruncationAndMismatch) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  const RunConfig rc;
+  auto board = buildBoard(grid, rc);
+  board->runTo(kSaveAt);
+  const std::vector<uint8_t> good = snap::save(*board);
+
+  {  // bit flip in the middle fails the integrity footer
+    std::vector<uint8_t> bad = good;
+    bad[bad.size() / 2] ^= 0x40;
+    auto target = buildBoard(grid, rc);
+    EXPECT_THROW(snap::restore(*target, bad), Error);
+  }
+  {  // truncation
+    std::vector<uint8_t> bad(good.begin(), good.end() - 9);
+    auto target = buildBoard(grid, rc);
+    EXPECT_THROW(snap::restore(*target, bad), Error);
+  }
+  {  // wrong board shape (core count)
+    const GridBoard pair = makeBoard({"mc_producer", "mc_consumer"});
+    auto target = buildBoard(pair, rc);
+    EXPECT_THROW(snap::restore(*target, good), Error);
+  }
+  {  // wrong detail level (architectural config mismatch)
+    RunConfig functional;
+    functional.level = xlat::DetailLevel::kFunctional;
+    auto target = buildBoard(grid, functional);
+    EXPECT_THROW(snap::restore(*target, good), Error);
+  }
+  {  // wrong program image
+    const GridBoard other = makeBoard({"mc_worker"});
+    auto target = buildBoard(other, rc);
+    EXPECT_THROW(snap::restore(*target, good), Error);
+  }
+  {  // the good snapshot still restores after all those rejections
+    auto target = buildBoard(grid, rc);
+    snap::restore(*target, good);
+    target->run();
+    auto ref = buildBoard(grid, rc);
+    ref->run();
+    EXPECT_EQ(snap::digest(*target), snap::digest(*ref));
+  }
+}
+
+}  // namespace
+}  // namespace cabt
