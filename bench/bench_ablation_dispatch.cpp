@@ -1,15 +1,19 @@
-// Dispatch-engine ablation: host throughput of the three block-dispatch
+// Dispatch-engine ablation: host throughput of the four block-dispatch
 // strategies of the reference ISS —
 //   * lookup   — address hash lookup + ordered-set leader probes per
 //                block (the pre-chaining engine, DispatchMode::kLookup),
 //   * chained  — precomputed successor edges + O(1) leader bitmap +
-//                template-specialized inner loop, and
-//   * traces   — chained plus hot-path superblock formation —
-// per ISS detail level, on the Table-2-class workloads. All three
+//                template-specialized inner loop,
+//   * traces   — chained plus hot-path superblock formation, and
+//   * threaded — traces plus threaded-code lowering: hot blocks and
+//                superblocks run as flat arrays of specialized host
+//                handlers over predecoded operands —
+// per ISS detail level, on the Table-2-class workloads. All four
 // variants are asserted cycle-identical before any row is reported; the
 // BENCH_ablation_dispatch.json record (one row per variant, with the
 // chain-hit / trace-dispatch / guard-bail counters) is what the
-// bench-report CI gate checks: chained must never be slower than lookup.
+// bench-report CI gate checks: chained must never be slower than lookup,
+// and threaded must never be slower than chained+traces.
 #include <chrono>
 
 #include "bench_common.h"
@@ -26,7 +30,9 @@ const Variant kVariants[] = {
     {"lookup", iss::DispatchMode::kLookup},
     {"chained", iss::DispatchMode::kChained},
     {"chained+traces", iss::DispatchMode::kChainedTraces},
+    {"threaded", iss::DispatchMode::kThreaded},
 };
+constexpr size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
 
 std::vector<std::string> workloadNames() {
   // The Table-2/Figure-5 programs big enough to time reliably (gcd
@@ -75,14 +81,14 @@ void printComparison() {
               "the section-2 interpretation-overhead argument, grown to "
               "chained/trace dispatch");
   JsonReport report("ablation_dispatch");
-  std::printf("%-10s %-14s %9s %9s %9s %8s %8s %10s\n", "workload",
-              "detail", "lookup", "chained", "traces", "chain x",
-              "trace x", "bails");
+  std::printf("%-10s %-14s %9s %9s %9s %9s %8s %8s %10s\n", "workload",
+              "detail", "lookup", "chained", "traces", "threaded",
+              "trace x", "thrd x", "bails");
   for (const std::string& name : workloadNames()) {
     const elf::Object obj = workloads::assemble(workloads::get(name));
     for (const xlat::DetailLevel level : allLevels()) {
-      DispatchRun runs[3];
-      for (size_t v = 0; v < 3; ++v) {
+      DispatchRun runs[kNumVariants];
+      for (size_t v = 0; v < kNumVariants; ++v) {
         // Whole programs retire in micro- to milliseconds: a generous
         // best-of keeps the row stable against scheduling noise.
         runs[v] = runDispatch(obj, level, kVariants[v].mode, 15);
@@ -95,14 +101,13 @@ void printComparison() {
                        kVariants[v].name,
                    runs[v].cycles, runs[v].hostMips(), &runs[v].stats);
       }
-      std::printf("%-10s %-14s %9.2f %9.2f %9.2f %7.2fx %7.2fx %10llu\n",
-                  name.c_str(), xlat::detailLevelName(level),
-                  runs[0].hostMips(), runs[1].hostMips(),
-                  runs[2].hostMips(),
-                  runs[0].host_seconds / runs[1].host_seconds,
-                  runs[0].host_seconds / runs[2].host_seconds,
-                  static_cast<unsigned long long>(
-                      runs[2].stats.guard_bails));
+      std::printf(
+          "%-10s %-14s %9.2f %9.2f %9.2f %9.2f %7.2fx %7.2fx %10llu\n",
+          name.c_str(), xlat::detailLevelName(level), runs[0].hostMips(),
+          runs[1].hostMips(), runs[2].hostMips(), runs[3].hostMips(),
+          runs[0].host_seconds / runs[2].host_seconds,
+          runs[0].host_seconds / runs[3].host_seconds,
+          static_cast<unsigned long long>(runs[3].stats.guard_bails));
     }
   }
   report.write();

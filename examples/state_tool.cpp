@@ -5,10 +5,17 @@
 //
 // Usage:
 //   state_tool digest <scenario> [--level=...] [--quantum=N]
-//                     [--interval=N] [--parallel]
+//                     [--interval=N] [--parallel] [--dispatch=...]
 //   state_tool selfcheck <scenario> [--level=...] [--quantum=N] [--at=N]
+//                        [--dispatch=...]
 //   state_tool save <scenario> --out=FILE [--at=N] [--level=...]
 //   state_tool resume <scenario> --in=FILE [--to=N] [--level=...]
+//
+// `--dispatch=lookup|chained|traces|threaded` selects the ISS dispatch
+// engine (default: the detail level's stock engine). With selfcheck it
+// exercises the cold-restore path of that engine from the CLI — e.g.
+// `--dispatch=threaded` restores into a board whose block cache (and
+// with it every lowered threaded-code program) starts empty.
 //
 // Scenarios: irq_ticks (1 core), mc_pair (producer + consumer),
 // mc_worker (solo), mc_quad (pair + two workers). `digest` prints one
@@ -46,6 +53,24 @@ xlat::DetailLevel parseLevel(const std::string& name) {
               "' (functional|static|branch|cache)");
 }
 
+iss::DispatchMode parseDispatch(const std::string& name) {
+  using iss::DispatchMode;
+  if (name == "lookup") {
+    return DispatchMode::kLookup;
+  }
+  if (name == "chained") {
+    return DispatchMode::kChained;
+  }
+  if (name == "traces") {
+    return DispatchMode::kChainedTraces;
+  }
+  if (name == "threaded") {
+    return DispatchMode::kThreaded;
+  }
+  throw Error("unknown dispatch mode '" + name +
+              "' (lookup|chained|traces|threaded)");
+}
+
 /// A stock scenario board: the images plus everything needed to build
 /// identically configured boards repeatedly (cold restore targets).
 struct Scenario {
@@ -60,7 +85,8 @@ struct Scenario {
 };
 
 Scenario makeScenario(const std::string& name, xlat::DetailLevel level,
-                      sim::Cycle quantum, bool parallel) {
+                      sim::Cycle quantum, bool parallel,
+                      const std::string& dispatch) {
   Scenario s;
   std::vector<const workloads::Workload*> programs;
   if (name == "irq_ticks") {
@@ -79,6 +105,9 @@ Scenario makeScenario(const std::string& name, xlat::DetailLevel level,
                 "' (irq_ticks|mc_pair|mc_worker|mc_quad)");
   }
   s.cfg.iss = platform::issConfigFor(level);
+  if (!dispatch.empty()) {
+    s.cfg.iss.dispatch_mode = parseDispatch(dispatch);
+  }
   s.cfg.quantum = quantum;
   s.cfg.parallel.enabled = parallel;
   for (const workloads::Workload* w : programs) {
@@ -117,6 +146,7 @@ int main(int argc, char** argv) {
     sim::Cycle at = 2000;
     sim::Cycle to = sim::kForever;
     bool parallel = false;
+    std::string dispatch;
     std::string in_path;
     std::string out_path;
 
@@ -132,6 +162,8 @@ int main(int argc, char** argv) {
         at = std::strtoull(arg.c_str() + 5, nullptr, 0);
       } else if (arg.rfind("--to=", 0) == 0) {
         to = std::strtoull(arg.c_str() + 5, nullptr, 0);
+      } else if (arg.rfind("--dispatch=", 0) == 0) {
+        dispatch = arg.substr(11);
       } else if (arg.rfind("--in=", 0) == 0) {
         in_path = arg.substr(5);
       } else if (arg.rfind("--out=", 0) == 0) {
@@ -155,13 +187,14 @@ int main(int argc, char** argv) {
                    "usage: %s digest|selfcheck|save|resume <scenario> "
                    "[--level=functional|static|branch|cache] [--quantum=N] "
                    "[--interval=N] [--at=N] [--to=N] [--in=F] [--out=F] "
-                   "[--parallel]\n",
+                   "[--parallel] "
+                   "[--dispatch=lookup|chained|traces|threaded]\n",
                    argv[0]);
       return 2;
     }
 
     const Scenario scenario =
-        makeScenario(scenario_name, level, quantum, parallel);
+        makeScenario(scenario_name, level, quantum, parallel, dispatch);
 
     if (command == "digest") {
       std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();

@@ -8,7 +8,8 @@ counters). This script collects them into a single BENCH_SUMMARY.md
 artifact and enforces two gates:
 
   * dispatch ablation — chained dispatch must not be slower than
-    per-block lookup dispatch;
+    per-block lookup dispatch, and threaded-code dispatch must not be
+    slower than chained+traces;
   * parallel rounds — on every BENCH_parallel_cores.json row with
     quantum >= 256, the parallel kernel must not fall below the
     sequential kernel (at smaller quanta the round barrier is expected
@@ -78,12 +79,14 @@ def render_summary(records):
 
 
 def check_dispatch_gate(records, min_ratio):
-    """chained must reach min_ratio x the lookup host MIPS per row.
+    """Every rung of the dispatch ladder must hold its floor per row:
+    chained and chained+traces reach min_ratio x the lookup host MIPS,
+    and threaded reaches min_ratio x the chained+traces host MIPS.
 
     Returns (compared_pairs, failures), or None when there is no
     ablation record at all. compared_pairs == 0 means the record exists
-    but held no lookup/chained pairs — the caller must treat that as a
-    gate failure, not a pass (it would otherwise go vacuously green if
+    but held no baseline/contender pairs — the caller must treat that as
+    a gate failure, not a pass (it would otherwise go vacuously green if
     the bench's variant naming ever drifted).
     """
     rows = records.get("ablation_dispatch")
@@ -96,23 +99,26 @@ def check_dispatch_gate(records, min_ratio):
             continue
         level, mode = variant.rsplit("/", 1)
         by_key[(r.get("workload"), level, mode)] = r.get("host_mips", 0.0)
+    # Gate both block engines and the shipped default (chained+traces)
+    # against the lookup baseline, and the threaded-code backend against
+    # the engine it lowers from.
+    ladder = {
+        "lookup": ("chained", "chained+traces"),
+        "chained+traces": ("threaded",),
+    }
     compared = 0
     failures = []
-    for (workload, level, mode), lookup_mips in sorted(by_key.items()):
-        if mode != "lookup":
-            continue
-        # Gate both the chained engine and the shipped default
-        # (chained+traces) against the lookup baseline.
-        for other in ("chained", "chained+traces"):
+    for (workload, level, mode), base_mips in sorted(by_key.items()):
+        for other in ladder.get(mode, ()):
             other_mips = by_key.get((workload, level, other))
-            if other_mips is None or lookup_mips <= 0:
+            if other_mips is None or base_mips <= 0:
                 continue
             compared += 1
-            ratio = other_mips / lookup_mips
+            ratio = other_mips / base_mips
             if ratio < min_ratio:
                 failures.append(
                     f"{workload}/{level}: {other} {other_mips:.2f} MIPS "
-                    f"vs lookup {lookup_mips:.2f} MIPS (ratio "
+                    f"vs {mode} {base_mips:.2f} MIPS (ratio "
                     f"{ratio:.2f} < {min_ratio:.2f})"
                 )
     return compared, failures
@@ -218,8 +224,9 @@ def main():
         "gate": check_dispatch_gate(records, args.min_ratio),
         "required": args.require_ablation,
         "record": "BENCH_ablation_dispatch.json",
-        "empty": "no lookup/chained pairs",
-        "passed": "chained >= lookup on {n} workload/level rows",
+        "empty": "no dispatch-ladder pairs",
+        "passed": "dispatch ladder held on {n} workload/level rows "
+        "(chained >= lookup, threaded >= chained+traces)",
     }
     parallel_gate = {
         "name": "parallel",

@@ -3,11 +3,17 @@
 
 Runs `state_tool digest` (examples/state_tool.cpp) for every stock
 scenario board — irq_ticks, mc_pair (producer/consumer), mc_worker and
-mc_quad — at all four detail levels, and compares the 64-bit rolling
-state digest (snap::digest: registers, memory, cycle counts, bus
+mc_quad — at all four detail levels under all four dispatch engines
+(lookup, chained, chained+traces, threaded), and compares the 64-bit
+rolling state digest (snap::digest: registers, memory, cycle counts, bus
 traffic, device state — see DESIGN.md section 9) plus the final bus
 cycle and retired instruction count against the values committed in
 tests/golden_digests.json.
+
+The dispatch engine is a host-side implementation detail, so all four
+modes must produce the identical final line for every scenario/level —
+the script asserts that cross-mode equality itself, then checks the
+(mode-independent) result against the single golden entry.
 
 The simulation is a pure function of the architecture description, so
 these digests are stable across hosts and compilers: any change that
@@ -32,6 +38,7 @@ import sys
 
 SCENARIOS = ["irq_ticks", "mc_pair", "mc_worker", "mc_quad"]
 LEVELS = ["functional", "static", "branch", "cache"]
+DISPATCH_MODES = ["lookup", "chained", "traces", "threaded"]
 QUANTUM = 1024
 
 FINAL_RE = re.compile(
@@ -52,9 +59,9 @@ def find_tool(explicit):
     sys.exit(1)
 
 
-def run_one(tool, scenario, level):
+def run_one(tool, scenario, level, dispatch):
     cmd = [tool, "digest", scenario, f"--level={level}",
-           f"--quantum={QUANTUM}"]
+           f"--quantum={QUANTUM}", f"--dispatch={dispatch}"]
     try:
         out = subprocess.run(cmd, capture_output=True, text=True,
                              check=True)
@@ -83,9 +90,30 @@ def run_one(tool, scenario, level):
 
 def collect(tool):
     entries = {}
+    status = 0
     for scenario in SCENARIOS:
         for level in LEVELS:
-            entries[f"{scenario}/{level}"] = run_one(tool, scenario, level)
+            per_mode = {
+                mode: run_one(tool, scenario, level, mode)
+                for mode in DISPATCH_MODES
+            }
+            baseline = per_mode[DISPATCH_MODES[0]]
+            for mode, result in per_mode.items():
+                if result != baseline:
+                    print(
+                        f"DISPATCH DIVERGENCE {scenario}/{level}: "
+                        f"{DISPATCH_MODES[0]} {baseline} vs {mode} {result}",
+                        file=sys.stderr,
+                    )
+                    status = 1
+            entries[f"{scenario}/{level}"] = baseline
+    if status:
+        print(
+            "error: dispatch engines disagree — the digest must be "
+            "dispatch-mode independent",
+            file=sys.stderr,
+        )
+        sys.exit(1)
     return entries
 
 
@@ -111,8 +139,11 @@ def main():
         record = {
             "comment": "Golden state digests of the stock workloads; "
             "regenerate with scripts/golden_state.py --record after an "
-            "intentional behaviour change (see DESIGN.md section 9).",
+            "intentional behaviour change (see DESIGN.md section 9). "
+            "Each entry is asserted identical across all dispatch "
+            "modes before it is recorded or checked.",
             "quantum": QUANTUM,
+            "dispatch_modes": DISPATCH_MODES,
             "entries": got,
         }
         with open(args.file, "w") as f:
@@ -150,7 +181,8 @@ def main():
             status = 1
     if status == 0:
         print(f"golden-state check passed: {len(got)} scenario/level "
-              "digests match")
+              f"digests match (each identical across "
+              f"{len(DISPATCH_MODES)} dispatch modes)")
     else:
         print(
             "golden-state check FAILED — if the behaviour change is "

@@ -8,7 +8,8 @@
 namespace cabt::core {
 
 BlockCache::BlockCache(const arch::ArchDescription& desc,
-                       const BlockGraph& graph) {
+                       const BlockGraph& graph)
+    : branch_(desc.branch) {
   blocks_.reserve(graph.blocks().size());
   for (const Block& b : graph.blocks()) {
     ExecBlock eb;

@@ -26,6 +26,7 @@
 
 #include "arch/arch.h"
 #include "core/block_graph.h"
+#include "core/threaded.h"
 
 namespace cabt::core {
 
@@ -36,6 +37,9 @@ namespace cabt::core {
 /// (ExecBlock::trace_retry_at), since the refusal may have been
 /// transient — a breakpoint later removed, or branch statistics that
 /// only skew once the program leaves its warm-up phase.
+/// ExecBlock::threaded / Trace::threaded reuse the same sentinels for
+/// the lowered threaded-code program (kTraceDeclined there is permanent:
+/// it only means the lowering op budget ran out).
 constexpr int32_t kTraceUnformed = -1;
 constexpr int32_t kTraceDeclined = -2;
 
@@ -61,6 +65,11 @@ struct ExecBlock {
   /// Index into BlockCache::traces() of the superblock headed by this
   /// block, or kTraceUnformed.
   int32_t trace = kTraceUnformed;
+  /// Index into BlockCache::threadedPrograms() of this block's lowered
+  /// threaded-code form (DispatchMode::kThreaded), kTraceUnformed while
+  /// the block has not gone hot, or kTraceDeclined once the lowering op
+  /// budget is exhausted.
+  int32_t threaded = kTraceUnformed;
   /// exec_count at which a declined trace formation is re-attempted
   /// (doubled on every refusal, so retries stay O(log) per block).
   uint64_t trace_retry_at = 0;
@@ -115,6 +124,8 @@ struct Trace {
   uint32_t total_instrs = 0;
   /// Hot-count statistic: number of times the trace was entered.
   uint64_t dispatches = 0;
+  /// Lowered threaded-code form of this trace (see ExecBlock::threaded).
+  int32_t threaded = kTraceUnformed;
 };
 
 /// Trace-formation limits.
@@ -154,9 +165,35 @@ class BlockCache {
   /// the verdict there.
   int32_t formTrace(int32_t head, const TraceOptions& opts);
 
+  // -- threaded-code lowering (core/threaded.h, DESIGN.md section 10) --
+
+  /// Lowers the block at `idx` / the trace at `trace_idx` into a
+  /// threaded program using the ISS-supplied handler binder. Returns the
+  /// new program's index, or kTraceDeclined when the lowering would push
+  /// the per-core op total past `budget_ops` (hot code is lowered first;
+  /// once the budget is gone, cold tails stay on the chained engine).
+  /// Like formTrace, the verdict is recorded by the caller.
+  int32_t lowerBlockThreaded(int32_t idx, const ThreadedBinder& binder,
+                             uint32_t budget_ops);
+  int32_t lowerTraceThreaded(int32_t trace_idx, const ThreadedBinder& binder,
+                             uint32_t budget_ops);
+
+  [[nodiscard]] const std::vector<ThreadedProgram>& threadedPrograms()
+      const {
+    return threaded_;
+  }
+  [[nodiscard]] const ThreadedProgram& threaded(int32_t idx) const {
+    return threaded_[static_cast<size_t>(idx)];
+  }
+  /// Total ThreadedOp records lowered so far (budget accounting).
+  [[nodiscard]] size_t threadedOps() const { return threaded_ops_; }
+
  private:
   std::vector<ExecBlock> blocks_;
   std::vector<Trace> traces_;
+  std::vector<ThreadedProgram> threaded_;
+  size_t threaded_ops_ = 0;
+  arch::BranchModel branch_;
   std::unordered_map<uint32_t, size_t> by_addr_;
 };
 

@@ -1,0 +1,156 @@
+// Threaded-code lowering: turns the block cache's predecoded arrays into
+// flat ThreadedOp programs (core/threaded.h, DESIGN.md section 10).
+//
+// Lowering is a pure per-instruction transcription — every dynamic
+// decision the specialized dispatch loops used to make per instruction
+// is resolved here, once:
+//   * the handler is selected through the ISS's binder with the icache
+//     line-group touch (the block cache's new_line rule) baked in;
+//   * immediates are materialized (kMovh/kMovha pre-shifted), branch
+//     targets and fall-through addresses become absolute;
+//   * the static branch prediction and both conditional outcome extras
+//     are precomputed from the architecture's BranchModel, so the
+//     handler adds a table value instead of consulting the model;
+//   * the cumulative issue-schedule cycles and icache set/tag words are
+//     copied from the (already precomputed) block-cache arrays.
+// A segment whose last instruction does not transfer control gets the
+// synthetic fall-through terminator, which advances the pc to the next
+// leader and returns nullptr — the dispatcher's signal to run the
+// block-boundary epoch.
+#include "core/threaded.h"
+
+#include "core/block_cache.h"
+
+namespace cabt::core {
+
+namespace {
+
+/// Lowers instructions [0, n) of one segment into `out`. The cum/line
+/// arrays are the block cache's per-instruction tables for the same
+/// range (line data indexed only when the binder says the icache is on).
+void lowerSegment(const trc::Instr* instrs, const uint32_t* cum,
+                  const uint8_t* new_line, const uint32_t* line_set,
+                  const uint32_t* line_tag, size_t n,
+                  const arch::BranchModel& bm, const ThreadedBinder& binder,
+                  std::vector<ThreadedOp>& out) {
+  using trc::Opc;
+  for (size_t i = 0; i < n; ++i) {
+    const trc::Instr& in = instrs[i];
+    ThreadedOp op;
+    const bool touch = binder.icache_on && new_line[i] != 0;
+    op.fn = binder.select(in, touch);
+    op.cum = cum[i];
+    if (touch) {
+      op.line_set = line_set[i];
+      op.line_tag = line_tag[i];
+    }
+    op.rd = in.rd;
+    op.ra = in.ra;
+    op.rb = in.rb;
+    op.a = static_cast<uint32_t>(in.imm);
+    switch (in.cls()) {
+      case arch::OpClass::kBranchCond: {
+        op.a = in.addr + in.size;  // fall-through continuation
+        op.b = in.branchTarget();
+        const bool predicted = arch::BranchModel::predictsTaken(in.imm);
+        if (predicted) {
+          op.flags |= ThreadedOp::kPredictedTaken;
+        }
+        op.x0 = static_cast<uint8_t>(bm.conditionalExtra(predicted, true));
+        op.x1 = static_cast<uint8_t>(bm.conditionalExtra(predicted, false));
+        break;
+      }
+      case arch::OpClass::kBranchUncond:
+      case arch::OpClass::kCall:
+        op.a = in.addr + in.size;  // kJl's return address
+        op.b = in.branchTarget();
+        op.x0 = static_cast<uint8_t>(bm.unconditionalExtra(in.cls()));
+        break;
+      case arch::OpClass::kBranchInd:
+        op.x0 = static_cast<uint8_t>(bm.unconditionalExtra(in.cls()));
+        break;
+      case arch::OpClass::kHalt:
+        // HALT leaves the pc on itself; BKPT advances past itself.
+        op.a = in.opc == Opc::kBkpt ? in.addr + in.size : in.addr;
+        break;
+      default:
+        if (in.opc == Opc::kMovh || in.opc == Opc::kMovha) {
+          op.a = static_cast<uint32_t>(in.imm) << 16;
+        }
+        break;
+    }
+    out.push_back(op);
+  }
+  const trc::Instr& last = instrs[n - 1];
+  if (!last.isControlTransfer()) {
+    // Leader-split segment end: no control transfer sets the pc, the
+    // synthetic terminator advances it to the fall-through leader. (A
+    // HALT/BKPT-terminated segment never reaches it — those handlers
+    // return nullptr themselves — but the record keeps the layout
+    // uniform.)
+    ThreadedOp end;
+    end.fn = binder.end;
+    end.a = last.addr + last.size;
+    end.cum = cum[n - 1];
+    out.push_back(end);
+  }
+}
+
+}  // namespace
+
+int32_t BlockCache::lowerBlockThreaded(int32_t idx,
+                                       const ThreadedBinder& binder,
+                                       uint32_t budget_ops) {
+  const ExecBlock& block = blocks_[static_cast<size_t>(idx)];
+  const size_t need = block.instrs.size() + 1;  // worst case: + terminator
+  if (threaded_ops_ + need > budget_ops) {
+    return kTraceDeclined;
+  }
+  ThreadedProgram prog;
+  prog.addr = block.addr;
+  prog.total_instrs = static_cast<uint32_t>(block.instrs.size());
+  prog.ops.reserve(need);
+  const bool icache = binder.icache_on;
+  lowerSegment(block.instrs.data(), block.cum_cycles.data(),
+               icache ? block.new_line.data() : nullptr,
+               icache ? block.line_set.data() : nullptr,
+               icache ? block.line_tag.data() : nullptr, block.instrs.size(),
+               branch_, binder, prog.ops);
+  prog.segs.push_back({idx, 0, block.addr});
+  threaded_ops_ += prog.ops.size();
+  threaded_.push_back(std::move(prog));
+  return static_cast<int32_t>(threaded_.size()) - 1;
+}
+
+int32_t BlockCache::lowerTraceThreaded(int32_t trace_idx,
+                                       const ThreadedBinder& binder,
+                                       uint32_t budget_ops) {
+  const Trace& trace = traces_[static_cast<size_t>(trace_idx)];
+  const size_t need = trace.instrs.size() + trace.segs.size();
+  if (threaded_ops_ + need > budget_ops) {
+    return kTraceDeclined;
+  }
+  ThreadedProgram prog;
+  prog.addr = trace.addr;
+  prog.total_instrs = trace.total_instrs;
+  prog.ops.reserve(need);
+  const bool icache = binder.icache_on;
+  for (const TraceSegment& seg : trace.segs) {
+    prog.segs.push_back(
+        {seg.block, static_cast<uint32_t>(prog.ops.size()), seg.entry_addr});
+    // The flattened trace arrays restart cum_cycles and the line-group
+    // sequence at every segment, so lowering a [first, first+count)
+    // slice is identical to lowering the constituent block.
+    lowerSegment(trace.instrs.data() + seg.first,
+                 trace.cum_cycles.data() + seg.first,
+                 icache ? trace.new_line.data() + seg.first : nullptr,
+                 icache ? trace.line_set.data() + seg.first : nullptr,
+                 icache ? trace.line_tag.data() + seg.first : nullptr,
+                 seg.count, branch_, binder, prog.ops);
+  }
+  threaded_ops_ += prog.ops.size();
+  threaded_.push_back(std::move(prog));
+  return static_cast<int32_t>(threaded_.size()) - 1;
+}
+
+}  // namespace cabt::core

@@ -538,11 +538,14 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
 }
 
 template <bool Timing, bool ICache, bool BranchX, bool Bail>
-StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
+StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
+                            bool threaded) {
   core::BlockCache& cache = blockCache();
   std::vector<core::ExecBlock>& blocks = cache.blocks();
   const core::TraceOptions trace_opts{config_.trace_max_blocks,
                                       config_.trace_max_instrs};
+  const core::ThreadedBinder binder =
+      threaded ? threadedBinder() : core::ThreadedBinder{};
   int32_t next_idx = -1;
   bool epoch_done = false;
   while (stop_ == StopReason::kRunning) {
@@ -641,13 +644,53 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces) {
         if ((breakpoints_.empty() || !traceHasBreakpoint(trace)) &&
             stats_.instructions + trace.total_instrs <=
                 config_.max_instructions) {
-          next_idx = dispatchTraceT<Timing, ICache, BranchX>(
-              trace, time_limit, &epoch_done);
+          if (threaded && trace.threaded == core::kTraceUnformed) {
+            // A formed trace is hot by definition (it is past
+            // trace_threshold dispatches): lower it on this entry.
+            trace.threaded = cache.lowerTraceThreaded(
+                block->trace, binder, config_.threaded_budget_ops);
+            if (trace.threaded >= 0) {
+              ++stats_.threaded_lowerings;
+            } else {
+              ++stats_.threaded_declined;
+            }
+          }
+          if (threaded && trace.threaded >= 0) {
+            const uint64_t before = stats_.instructions;
+            next_idx = dispatchThreadedTraceT<Timing>(
+                trace, cache.threaded(trace.threaded), time_limit,
+                &epoch_done);
+            stats_.threaded_instrs += stats_.instructions - before;
+          } else {
+            next_idx = dispatchTraceT<Timing, ICache, BranchX>(
+                trace, time_limit, &epoch_done);
+          }
           if (next_idx == kDispatchYield) {
             return StopReason::kCycleLimit;
           }
           continue;
         }
+      }
+    }
+    if (threaded) {
+      if (block->threaded == core::kTraceUnformed &&
+          block->exec_count >= config_.threaded_threshold) {
+        block->threaded = cache.lowerBlockThreaded(
+            static_cast<int32_t>(block - blocks.data()), binder,
+            config_.threaded_budget_ops);
+        if (block->threaded >= 0) {
+          ++stats_.threaded_lowerings;
+        } else {
+          ++stats_.threaded_declined;
+        }
+      }
+      if (block->threaded >= 0) {
+        const uint64_t before = stats_.instructions;
+        dispatchThreadedBlockT<Timing>(*block,
+                                       cache.threaded(block->threaded));
+        stats_.threaded_instrs += stats_.instructions - before;
+        next_idx = afterBlock<Timing>(*block);
+        continue;
       }
     }
     dispatchBlockT<Timing, ICache, BranchX, Bail>(*block);
@@ -691,32 +734,39 @@ StopReason Iss::runLoop(uint64_t time_limit) {
   }
   if (private_mode_) {
     // Private slices always run the Bail-instrumented chained engine
-    // (without trace formation), whatever dispatch_mode says: all
-    // engines are architecturally bit-identical, and the sequential
-    // drain finishes the slice on the configured engine.
-    return selectChainedT<true>(time_limit, /*traces=*/false);
+    // (without trace formation or threaded programs), whatever
+    // dispatch_mode says: all engines are architecturally bit-identical,
+    // and the sequential drain finishes the slice on the configured
+    // engine.
+    return selectChainedT<true>(time_limit, /*traces=*/false,
+                                /*threaded=*/false);
   }
   if (config_.dispatch_mode == DispatchMode::kLookup) {
     return runLoopLookup(time_limit);
   }
   return selectChainedT<false>(
-      time_limit, config_.dispatch_mode == DispatchMode::kChainedTraces);
+      time_limit, config_.dispatch_mode != DispatchMode::kChained,
+      config_.dispatch_mode == DispatchMode::kThreaded);
 }
 
 template <bool Bail>
-StopReason Iss::selectChainedT(uint64_t time_limit, bool traces) {
+StopReason Iss::selectChainedT(uint64_t time_limit, bool traces,
+                               bool threaded) {
   if (!config_.model_timing) {
-    return runChainedT<false, false, false, Bail>(time_limit, traces);
+    return runChainedT<false, false, false, Bail>(time_limit, traces,
+                                                  threaded);
   }
   const bool with_extras = config_.model_branch_extras;
   if (icacheOn()) {
-    return with_extras
-               ? runChainedT<true, true, true, Bail>(time_limit, traces)
-               : runChainedT<true, true, false, Bail>(time_limit, traces);
+    return with_extras ? runChainedT<true, true, true, Bail>(
+                             time_limit, traces, threaded)
+                       : runChainedT<true, true, false, Bail>(
+                             time_limit, traces, threaded);
   }
-  return with_extras
-             ? runChainedT<true, false, true, Bail>(time_limit, traces)
-             : runChainedT<true, false, false, Bail>(time_limit, traces);
+  return with_extras ? runChainedT<true, false, true, Bail>(
+                           time_limit, traces, threaded)
+                     : runChainedT<true, false, false, Bail>(
+                           time_limit, traces, threaded);
 }
 
 StopReason Iss::runLoopLookup(uint64_t time_limit) {
@@ -804,6 +854,10 @@ void saveStats(serial::Writer& w, const IssStats& s) {
   w.u64(s.guard_bails);
   w.u64(s.private_slices);
   w.u64(s.private_bails);
+  w.u64(s.threaded_dispatches);
+  w.u64(s.threaded_instrs);
+  w.u64(s.threaded_lowerings);
+  w.u64(s.threaded_declined);
 }
 
 void restoreStats(serial::Reader& r, IssStats& s) {
@@ -829,6 +883,10 @@ void restoreStats(serial::Reader& r, IssStats& s) {
   s.guard_bails = r.u64();
   s.private_slices = r.u64();
   s.private_bails = r.u64();
+  s.threaded_dispatches = r.u64();
+  s.threaded_instrs = r.u64();
+  s.threaded_lowerings = r.u64();
+  s.threaded_declined = r.u64();
 }
 
 /// Content fingerprint of the decoded program: a snapshot must never
@@ -948,8 +1006,11 @@ void Iss::restoreState(serial::Reader& r) {
   // still a valid decode of the immutable image, but its per-block
   // breakpoint flags mirror the old breakpoint set — recompute every one
   // from the restored set. Trace formation state (exec counts, formed
-  // superblocks) stays warm: traces never dispatch through a flagged
-  // block, so correctness needs only the flags.
+  // superblocks) and lowered threaded-code programs stay warm: neither
+  // traces nor threaded programs ever dispatch through a flagged block
+  // (the refusal is a dispatch-time flag test, not a lowering-time
+  // decision), so correctness needs only the flags. A cold restore has
+  // no cache at all and re-lowers lazily once blocks re-heat.
   if (cache_ != nullptr) {
     for (core::ExecBlock& block : cache_->blocks()) {
       block.has_breakpoint = blockHasBreakpoint(block) ? 1 : 0;
@@ -1266,6 +1327,400 @@ void Iss::executeT(const Instr& in) {
       CABT_FAIL("unhandled opcode in ISS: " << in.info().mnemonic);
   }
   pc_ = next_pc;
+}
+
+// ---- threaded-code backend (DispatchMode::kThreaded) -----------------
+//
+// One specialized host handler per opcode, in (Timing, BranchX) handler
+// sets mirroring the runChainedT specialization ladder, with the icache
+// line-group touch baked in per op at lowering (`Touch`: the block
+// cache's new_line decision, so no runtime test survives). Each handler
+// performs exactly the per-instruction sequence of dispatchBlockT —
+// line-group touch, live pipeline cost, the instruction's semantics,
+// retirement count — against fully predecoded operands, then returns the
+// next record; control transfers, HALT/BKPT and the fall-through
+// terminator return nullptr, which both ends the dispatch loop (no
+// per-op stop-flag poll) and marks the original block boundary where the
+// dispatcher applies every correction. Mid-block observables are
+// preserved exactly: memory handlers see live_pipe_ already at this
+// op's cumulative cost (the bus clock advances to localTime() on device
+// access), the retirement count increments after the access (functional
+// mode clocks the bus by instruction count), icache penalties and
+// branch extras go to committed_cycles_ as they accrue, and interior
+// ops do not touch the pc (nothing observes it between boundaries; the
+// segment-ending op re-establishes it).
+
+template <bool Timing, bool BranchX>
+struct ThreadedHandlers {
+  using Op = core::ThreadedOp;
+
+  static Iss& cpu(void* p) { return *static_cast<Iss*>(p); }
+
+  /// Per-op prologue in dispatchBlockT's order: the baked-in line-group
+  /// touch, then the open block's live pipeline cost.
+  template <bool Touch>
+  static void prologue(Iss& c, const Op* op) {
+    if constexpr (Touch) {
+      c.icacheAccessTagged(op->line_set, op->line_tag);
+    }
+    if constexpr (Timing) {
+      c.live_pipe_ = op->cum;
+    }
+  }
+
+  /// Conditional-branch epilogue: outcome counters always, the
+  /// precomputed outcome extra only under BranchX; ends the segment.
+  static const Op* condBranch(Iss& c, const Op* op, bool taken) {
+    ++c.stats_.cond_branches;
+    const bool predicted = (op->flags & Op::kPredictedTaken) != 0;
+    if (taken) {
+      ++c.stats_.cond_taken;
+      c.pc_ = op->b;
+    } else {
+      c.pc_ = op->a;
+    }
+    if (predicted != taken) {
+      ++c.stats_.mispredicts;
+    }
+    if constexpr (BranchX) {
+      const unsigned extra = taken ? op->x0 : op->x1;
+      c.committed_cycles_ += extra;
+      c.stats_.branch_extra += extra;
+      c.current_block_.branch_extra += extra;
+    }
+    ++c.stats_.instructions;
+    return nullptr;
+  }
+
+  /// Static extra of an unconditional transfer (precomputed into x0).
+  static void uncondExtra(Iss& c, const Op* op) {
+    if constexpr (BranchX) {
+      c.committed_cycles_ += op->x0;
+      c.stats_.branch_extra += op->x0;
+      c.current_block_.branch_extra += op->x0;
+    }
+  }
+
+  template <Opc O, bool Touch>
+  static const Op* exec(void* p, const Op* op) {
+    Iss& c = cpu(p);
+    prologue<Touch>(c, op);
+    if constexpr (O == Opc::kAdd) {
+      c.d_[op->rd] = c.d_[op->ra] + c.d_[op->rb];
+    } else if constexpr (O == Opc::kSub) {
+      c.d_[op->rd] = c.d_[op->ra] - c.d_[op->rb];
+    } else if constexpr (O == Opc::kAnd) {
+      c.d_[op->rd] = c.d_[op->ra] & c.d_[op->rb];
+    } else if constexpr (O == Opc::kOr) {
+      c.d_[op->rd] = c.d_[op->ra] | c.d_[op->rb];
+    } else if constexpr (O == Opc::kXor) {
+      c.d_[op->rd] = c.d_[op->ra] ^ c.d_[op->rb];
+    } else if constexpr (O == Opc::kShl) {
+      c.d_[op->rd] = c.d_[op->ra] << (c.d_[op->rb] & 31);
+    } else if constexpr (O == Opc::kShr) {
+      c.d_[op->rd] = c.d_[op->ra] >> (c.d_[op->rb] & 31);
+    } else if constexpr (O == Opc::kSar) {
+      c.d_[op->rd] = static_cast<uint32_t>(
+          static_cast<int32_t>(c.d_[op->ra]) >> (c.d_[op->rb] & 31));
+    } else if constexpr (O == Opc::kMul) {
+      c.d_[op->rd] = c.d_[op->ra] * c.d_[op->rb];
+    } else if constexpr (O == Opc::kEq) {
+      c.d_[op->rd] = c.d_[op->ra] == c.d_[op->rb] ? 1 : 0;
+    } else if constexpr (O == Opc::kNe) {
+      c.d_[op->rd] = c.d_[op->ra] != c.d_[op->rb] ? 1 : 0;
+    } else if constexpr (O == Opc::kLt) {
+      c.d_[op->rd] = static_cast<int32_t>(c.d_[op->ra]) <
+                             static_cast<int32_t>(c.d_[op->rb])
+                         ? 1
+                         : 0;
+    } else if constexpr (O == Opc::kGe) {
+      c.d_[op->rd] = static_cast<int32_t>(c.d_[op->ra]) >=
+                             static_cast<int32_t>(c.d_[op->rb])
+                         ? 1
+                         : 0;
+    } else if constexpr (O == Opc::kLtu) {
+      c.d_[op->rd] = c.d_[op->ra] < c.d_[op->rb] ? 1 : 0;
+    } else if constexpr (O == Opc::kGeu) {
+      c.d_[op->rd] = c.d_[op->ra] >= c.d_[op->rb] ? 1 : 0;
+    } else if constexpr (O == Opc::kAddi) {
+      c.d_[op->rd] = c.d_[op->ra] + op->a;
+    } else if constexpr (O == Opc::kMovi || O == Opc::kMovh ||
+                         O == Opc::kMovi16) {
+      c.d_[op->rd] = op->a;  // kMovh pre-shifted at lowering
+    } else if constexpr (O == Opc::kMova) {
+      c.a_[op->rd] = c.d_[op->ra];
+    } else if constexpr (O == Opc::kMovd) {
+      c.d_[op->rd] = c.a_[op->ra];
+    } else if constexpr (O == Opc::kLea) {
+      c.a_[op->rd] = c.a_[op->ra] + op->a;
+    } else if constexpr (O == Opc::kMovha) {
+      c.a_[op->rd] = op->a;  // pre-shifted at lowering
+    } else if constexpr (O == Opc::kAdda) {
+      c.a_[op->rd] = c.a_[op->ra] + c.a_[op->rb];
+    } else if constexpr (O == Opc::kSuba) {
+      c.a_[op->rd] = c.a_[op->ra] - c.a_[op->rb];
+    } else if constexpr (O == Opc::kLdw) {
+      c.d_[op->rd] = c.loadMem(c.a_[op->ra] + op->a, 4, false);
+    } else if constexpr (O == Opc::kLdh) {
+      c.d_[op->rd] = c.loadMem(c.a_[op->ra] + op->a, 2, true);
+    } else if constexpr (O == Opc::kLdhu) {
+      c.d_[op->rd] = c.loadMem(c.a_[op->ra] + op->a, 2, false);
+    } else if constexpr (O == Opc::kLdb) {
+      c.d_[op->rd] = c.loadMem(c.a_[op->ra] + op->a, 1, true);
+    } else if constexpr (O == Opc::kLdbu) {
+      c.d_[op->rd] = c.loadMem(c.a_[op->ra] + op->a, 1, false);
+    } else if constexpr (O == Opc::kLda) {
+      c.a_[op->rd] = c.loadMem(c.a_[op->ra] + op->a, 4, false);
+    } else if constexpr (O == Opc::kStw) {
+      c.storeMem(c.a_[op->ra] + op->a, c.d_[op->rd], 4);
+    } else if constexpr (O == Opc::kSth) {
+      c.storeMem(c.a_[op->ra] + op->a, c.d_[op->rd], 2);
+    } else if constexpr (O == Opc::kStb) {
+      c.storeMem(c.a_[op->ra] + op->a, c.d_[op->rd], 1);
+    } else if constexpr (O == Opc::kSta) {
+      c.storeMem(c.a_[op->ra] + op->a, c.a_[op->rd], 4);
+    } else if constexpr (O == Opc::kJ || O == Opc::kJ16) {
+      uncondExtra(c, op);
+      c.pc_ = op->b;
+      ++c.stats_.instructions;
+      return nullptr;
+    } else if constexpr (O == Opc::kJl) {
+      c.a_[trc::kLinkRegister] = op->a;  // precomputed return address
+      uncondExtra(c, op);
+      c.pc_ = op->b;
+      ++c.stats_.instructions;
+      return nullptr;
+    } else if constexpr (O == Opc::kJi) {
+      uncondExtra(c, op);
+      c.pc_ = c.a_[op->ra];
+      ++c.stats_.instructions;
+      return nullptr;
+    } else if constexpr (O == Opc::kRet16) {
+      uncondExtra(c, op);
+      c.pc_ = c.a_[trc::kLinkRegister];
+      ++c.stats_.instructions;
+      return nullptr;
+    } else if constexpr (O == Opc::kJeq) {
+      return condBranch(c, op, c.d_[op->ra] == c.d_[op->rb]);
+    } else if constexpr (O == Opc::kJne) {
+      return condBranch(c, op, c.d_[op->ra] != c.d_[op->rb]);
+    } else if constexpr (O == Opc::kJlt) {
+      return condBranch(c, op, static_cast<int32_t>(c.d_[op->ra]) <
+                                   static_cast<int32_t>(c.d_[op->rb]));
+    } else if constexpr (O == Opc::kJge) {
+      return condBranch(c, op, static_cast<int32_t>(c.d_[op->ra]) >=
+                                   static_cast<int32_t>(c.d_[op->rb]));
+    } else if constexpr (O == Opc::kJltu) {
+      return condBranch(c, op, c.d_[op->ra] < c.d_[op->rb]);
+    } else if constexpr (O == Opc::kJgeu) {
+      return condBranch(c, op, c.d_[op->ra] >= c.d_[op->rb]);
+    } else if constexpr (O == Opc::kJnz16) {
+      return condBranch(c, op, c.d_[op->rd] != 0);
+    } else if constexpr (O == Opc::kJz16) {
+      return condBranch(c, op, c.d_[op->rd] == 0);
+    } else if constexpr (O == Opc::kNop || O == Opc::kNop16) {
+      // no architectural effect
+    } else if constexpr (O == Opc::kHalt) {
+      c.stop_ = StopReason::kHalted;
+      c.pc_ = op->a;  // the pc rests on the HALT instruction
+      ++c.stats_.instructions;
+      return nullptr;
+    } else if constexpr (O == Opc::kBkpt) {
+      c.stop_ = StopReason::kBreakpoint;
+      c.pc_ = op->a;  // past the BKPT
+      ++c.stats_.instructions;
+      return nullptr;
+    } else if constexpr (O == Opc::kMov16) {
+      c.d_[op->rd] = c.d_[op->rb];
+    } else if constexpr (O == Opc::kAdd16) {
+      c.d_[op->rd] += c.d_[op->rb];
+    } else if constexpr (O == Opc::kSub16) {
+      c.d_[op->rd] -= c.d_[op->rb];
+    } else if constexpr (O == Opc::kAddi16) {
+      c.d_[op->rd] += op->a;
+    }
+    ++c.stats_.instructions;
+    return op + 1;
+  }
+
+  /// Fall-through terminator of a leader-split segment: no control
+  /// transfer set the pc, so establish the precomputed continuation.
+  static const Op* end(void* p, const Op* op) {
+    cpu(p).pc_ = op->a;
+    return nullptr;
+  }
+
+  template <bool Touch>
+  static core::ThreadedFn selectT(Opc o) {
+    switch (o) {
+      case Opc::kAdd: return &exec<Opc::kAdd, Touch>;
+      case Opc::kSub: return &exec<Opc::kSub, Touch>;
+      case Opc::kAnd: return &exec<Opc::kAnd, Touch>;
+      case Opc::kOr: return &exec<Opc::kOr, Touch>;
+      case Opc::kXor: return &exec<Opc::kXor, Touch>;
+      case Opc::kShl: return &exec<Opc::kShl, Touch>;
+      case Opc::kShr: return &exec<Opc::kShr, Touch>;
+      case Opc::kSar: return &exec<Opc::kSar, Touch>;
+      case Opc::kMul: return &exec<Opc::kMul, Touch>;
+      case Opc::kEq: return &exec<Opc::kEq, Touch>;
+      case Opc::kNe: return &exec<Opc::kNe, Touch>;
+      case Opc::kLt: return &exec<Opc::kLt, Touch>;
+      case Opc::kGe: return &exec<Opc::kGe, Touch>;
+      case Opc::kLtu: return &exec<Opc::kLtu, Touch>;
+      case Opc::kGeu: return &exec<Opc::kGeu, Touch>;
+      case Opc::kAddi: return &exec<Opc::kAddi, Touch>;
+      case Opc::kMovi: return &exec<Opc::kMovi, Touch>;
+      case Opc::kMovh: return &exec<Opc::kMovh, Touch>;
+      case Opc::kMova: return &exec<Opc::kMova, Touch>;
+      case Opc::kMovd: return &exec<Opc::kMovd, Touch>;
+      case Opc::kLea: return &exec<Opc::kLea, Touch>;
+      case Opc::kMovha: return &exec<Opc::kMovha, Touch>;
+      case Opc::kAdda: return &exec<Opc::kAdda, Touch>;
+      case Opc::kSuba: return &exec<Opc::kSuba, Touch>;
+      case Opc::kLdw: return &exec<Opc::kLdw, Touch>;
+      case Opc::kLdh: return &exec<Opc::kLdh, Touch>;
+      case Opc::kLdhu: return &exec<Opc::kLdhu, Touch>;
+      case Opc::kLdb: return &exec<Opc::kLdb, Touch>;
+      case Opc::kLdbu: return &exec<Opc::kLdbu, Touch>;
+      case Opc::kLda: return &exec<Opc::kLda, Touch>;
+      case Opc::kStw: return &exec<Opc::kStw, Touch>;
+      case Opc::kSth: return &exec<Opc::kSth, Touch>;
+      case Opc::kStb: return &exec<Opc::kStb, Touch>;
+      case Opc::kSta: return &exec<Opc::kSta, Touch>;
+      case Opc::kJ: return &exec<Opc::kJ, Touch>;
+      case Opc::kJ16: return &exec<Opc::kJ16, Touch>;
+      case Opc::kJl: return &exec<Opc::kJl, Touch>;
+      case Opc::kJi: return &exec<Opc::kJi, Touch>;
+      case Opc::kRet16: return &exec<Opc::kRet16, Touch>;
+      case Opc::kJeq: return &exec<Opc::kJeq, Touch>;
+      case Opc::kJne: return &exec<Opc::kJne, Touch>;
+      case Opc::kJlt: return &exec<Opc::kJlt, Touch>;
+      case Opc::kJge: return &exec<Opc::kJge, Touch>;
+      case Opc::kJltu: return &exec<Opc::kJltu, Touch>;
+      case Opc::kJgeu: return &exec<Opc::kJgeu, Touch>;
+      case Opc::kJnz16: return &exec<Opc::kJnz16, Touch>;
+      case Opc::kJz16: return &exec<Opc::kJz16, Touch>;
+      case Opc::kNop: return &exec<Opc::kNop, Touch>;
+      case Opc::kNop16: return &exec<Opc::kNop16, Touch>;
+      case Opc::kHalt: return &exec<Opc::kHalt, Touch>;
+      case Opc::kBkpt: return &exec<Opc::kBkpt, Touch>;
+      case Opc::kMov16: return &exec<Opc::kMov16, Touch>;
+      case Opc::kAdd16: return &exec<Opc::kAdd16, Touch>;
+      case Opc::kSub16: return &exec<Opc::kSub16, Touch>;
+      case Opc::kMovi16: return &exec<Opc::kMovi16, Touch>;
+      case Opc::kAddi16: return &exec<Opc::kAddi16, Touch>;
+      default:
+        CABT_FAIL("unhandled opcode in threaded lowering: "
+                  << static_cast<int>(o));
+    }
+  }
+
+  static core::ThreadedFn select(const trc::Instr& in, bool touch) {
+    return touch ? selectT<true>(in.opc) : selectT<false>(in.opc);
+  }
+};
+
+core::ThreadedBinder Iss::threadedBinder() const {
+  core::ThreadedBinder binder;
+  // The same knob resolution as selectChainedT: functional mode never
+  // touches the icache (and needs no extras), so the touch and the
+  // handler set collapse together.
+  if (!config_.model_timing) {
+    binder.select = &ThreadedHandlers<false, false>::select;
+    binder.end = &ThreadedHandlers<false, false>::end;
+    binder.icache_on = false;
+  } else if (config_.model_branch_extras) {
+    binder.select = &ThreadedHandlers<true, true>::select;
+    binder.end = &ThreadedHandlers<true, true>::end;
+    binder.icache_on = icacheOn();
+  } else {
+    binder.select = &ThreadedHandlers<true, false>::select;
+    binder.end = &ThreadedHandlers<true, false>::end;
+    binder.icache_on = icacheOn();
+  }
+  return binder;
+}
+
+template <bool Timing>
+void Iss::dispatchThreadedBlockT(core::ExecBlock& block,
+                                 const core::ThreadedProgram& prog) {
+  ++block.exec_count;
+  ++stats_.cached_blocks;
+  ++stats_.threaded_dispatches;
+  if constexpr (Timing) {
+    current_block_ = BlockRecord{};
+    current_block_.addr = block.addr;
+    in_block_ = true;
+    ++stats_.blocks;
+  }
+  const core::ThreadedOp* op = prog.ops.data();
+  while (op != nullptr) {
+    op = op->fn(this, op);
+  }
+  if (stop_ == StopReason::kHalted) {
+    finishBlock();
+    syncBusClock();
+  }
+}
+
+template <bool Timing>
+int32_t Iss::dispatchThreadedTraceT(core::Trace& trace,
+                                    const core::ThreadedProgram& prog,
+                                    uint64_t time_limit, bool* epoch_done) {
+  // Admission (runChainedT) guaranteed the whole trace fits the
+  // instruction budget, exactly as for the interpreted trace engine.
+  ++trace.dispatches;
+  ++stats_.trace_dispatches;
+  ++stats_.threaded_dispatches;
+  std::vector<core::ExecBlock>& blocks = cache_->blocks();
+  const core::ThreadedOp* ops = prog.ops.data();
+  const core::ThreadedSegment* segs = prog.segs.data();
+  const size_t num_segs = prog.segs.size();
+  for (size_t s = 0;; ++s) {
+    const core::ThreadedSegment& seg = segs[s];
+    core::ExecBlock& block = blocks[static_cast<size_t>(seg.block)];
+    ++block.exec_count;
+    ++block.trace_execs;
+    ++stats_.cached_blocks;
+    ++stats_.trace_blocks;
+    if constexpr (Timing) {
+      current_block_ = BlockRecord{};
+      current_block_.addr = block.addr;
+      in_block_ = true;
+      ++stats_.blocks;
+    }
+    const core::ThreadedOp* op = ops + seg.first;
+    while (op != nullptr) {
+      op = op->fn(this, op);
+    }
+    if (stop_ != StopReason::kRunning) {
+      if (stop_ == StopReason::kHalted) {
+        finishBlock();
+        syncBusClock();
+      }
+      return -1;  // HALT or BKPT mid-block
+    }
+    if (s + 1 == num_segs) {
+      return afterBlock<Timing>(block);  // chain off the trace end
+    }
+    // Original block boundary inside the trace: the identical epoch
+    // sequence dispatchTraceT performs between two segments — lazy
+    // commit, quantum yield, interrupt sample, then the guard.
+    finishBlock();
+    if (localTime() >= time_limit) {
+      return kDispatchYield;  // resumable: pc_ rests on the next leader
+    }
+    if (irq_ != nullptr) {
+      maybeTakeIrq();
+    }
+    if (pc_ != segs[s + 1].entry_addr) {
+      // Guard failure: this boundary's epoch has already run — the
+      // outer loop must not repeat it.
+      ++stats_.guard_bails;
+      *epoch_done = true;
+      return resolveNext(block);
+    }
+  }
 }
 
 }  // namespace cabt::iss

@@ -108,6 +108,14 @@ struct IssStats {
   /// sequential drain on a shared-bus touch before the quantum expired.
   uint64_t private_slices = 0;
   uint64_t private_bails = 0;
+  /// Threaded-code backend accounting (DispatchMode::kThreaded, also
+  /// non-architectural): programs entered (a lowered block or whole
+  /// trace each count one), instructions retired inside them, lowerings
+  /// performed, and lowerings declined by the op budget.
+  uint64_t threaded_dispatches = 0;
+  uint64_t threaded_instrs = 0;
+  uint64_t threaded_lowerings = 0;
+  uint64_t threaded_declined = 0;
 };
 
 /// Block-dispatch strategy of the run()/runUntil() engine (only
@@ -122,6 +130,13 @@ enum class DispatchMode {
   kChained,
   /// kChained plus superblock trace formation for hot blocks.
   kChainedTraces,
+  /// kChainedTraces plus threaded-code lowering: hot blocks and formed
+  /// traces are lowered once into flat arrays of pre-bound host handler
+  /// records (core/threaded.h) — zero per-instruction decode, no switch,
+  /// no operand extraction on the hot path. All corrections stay at the
+  /// original block boundaries, so the backend is bit-identical to
+  /// step() at every detail level (DESIGN.md section 10).
+  kThreaded,
 };
 
 struct IssConfig {
@@ -148,6 +163,14 @@ struct IssConfig {
   /// block unrolls a hot loop into the trace).
   uint32_t trace_max_blocks = 8;
   uint32_t trace_max_instrs = 256;
+  /// A block is lowered into a threaded-code program once dispatched
+  /// this many times (kThreaded only); formed traces are lowered on
+  /// their next dispatch (they are already past trace_threshold).
+  uint32_t threaded_threshold = 16;
+  /// Total ThreadedOp records the per-core lowering budget allows.
+  /// Exhaustion declines further lowerings permanently: hot code lowers
+  /// first, cold tails stay on the chained engine.
+  uint32_t threaded_budget_ops = 1u << 16;
   uint64_t max_instructions = 500'000'000;
   /// Cycles charged when an interrupt is accepted (pipeline flush + the
   /// vector fetch), at the block boundary where it is taken.
@@ -175,6 +198,12 @@ struct HotBlock {
   uint64_t chain_entries = 0;
   uint64_t trace_execs = 0;
 };
+
+/// The threaded-code handler set (defined in iss.cpp), specialized per
+/// (timing, branch-extras) with the icache touch baked per op at
+/// lowering time; befriended so handlers mutate ISS state directly.
+template <bool Timing, bool BranchX>
+struct ThreadedHandlers;
 
 class Iss {
  public:
@@ -313,6 +342,9 @@ class Iss {
   void digestState(serial::Writer& w) const;
 
  private:
+  template <bool Timing, bool BranchX>
+  friend struct ThreadedHandlers;
+
   /// dispatchTraceT() result meaning "yield with kCycleLimit now";
   /// non-negative results chain into the next block, -1 falls back to
   /// lookup/stepping.
@@ -341,18 +373,22 @@ class Iss {
   /// ladder shared by normal runs (Bail=false) and private slices
   /// (Bail=true), so the two modes cannot drift apart.
   template <bool Bail>
-  StopReason selectChainedT(uint64_t time_limit, bool traces);
+  StopReason selectChainedT(uint64_t time_limit, bool traces,
+                            bool threaded);
   /// The pre-chaining dispatch loop (DispatchMode::kLookup): address
   /// hash lookup + ordered-set leader probes per block. Kept verbatim as
   /// the measured baseline of the dispatch ablation.
   StopReason runLoopLookup(uint64_t time_limit);
   /// The chained engine, specialized on (model_timing, icache-on,
-  /// model_branch_extras); `traces` enables superblock formation. `Bail`
-  /// compiles in the private-slice shared-touch tests (the parallel
-  /// prefix path); normal runs use the Bail=false instantiations, so no
-  /// new test reaches the sequential hot path.
+  /// model_branch_extras); `traces` enables superblock formation and
+  /// `threaded` additionally lowers hot blocks/traces into threaded-code
+  /// programs (DispatchMode::kThreaded; tested per block dispatch, never
+  /// per instruction). `Bail` compiles in the private-slice shared-touch
+  /// tests (the parallel prefix path); normal runs use the Bail=false
+  /// instantiations, so no new test reaches the sequential hot path —
+  /// and private slices never run threaded programs.
   template <bool Timing, bool ICache, bool BranchX, bool Bail = false>
-  StopReason runChainedT(uint64_t time_limit, bool traces);
+  StopReason runChainedT(uint64_t time_limit, bool traces, bool threaded);
   /// dispatchBlock with the per-instruction config tests hoisted into
   /// template parameters.
   template <bool Timing, bool ICache, bool BranchX, bool Bail = false>
@@ -377,6 +413,24 @@ class Iss {
   template <bool Timing, bool ICache, bool BranchX>
   int32_t dispatchTraceT(core::Trace& trace, uint64_t time_limit,
                          bool* epoch_done);
+  /// Executes a lowered block via back-to-back handler dispatches; the
+  /// timing/icache/branch-extra decisions are baked into the handlers,
+  /// so only the block-entry bookkeeping is templated.
+  template <bool Timing>
+  void dispatchThreadedBlockT(core::ExecBlock& block,
+                              const core::ThreadedProgram& prog);
+  /// dispatchTraceT over a lowered trace: runs each segment's handler
+  /// chain, with the identical boundary epoch (commit, yield, interrupt
+  /// sample, guard) between segments. Same return protocol as
+  /// dispatchTraceT.
+  template <bool Timing>
+  int32_t dispatchThreadedTraceT(core::Trace& trace,
+                                 const core::ThreadedProgram& prog,
+                                 uint64_t time_limit, bool* epoch_done);
+  /// The handler table matching this core's configured detail level
+  /// (handlers are bound per (timing, branch-extras) with the icache
+  /// touch decided per op at lowering).
+  [[nodiscard]] core::ThreadedBinder threadedBinder() const;
   /// Resolves the retired block's successor through its precomputed
   /// edges by comparing pc_ (no lookup); updates the outcome counters.
   int32_t resolveNext(core::ExecBlock& block);

@@ -37,7 +37,7 @@ namespace cabt::snap {
 /// Bumped whenever any layer's section layout changes. Old snapshots
 /// refuse to load — fast-forward state is cheap to regenerate, silent
 /// misinterpretation is not.
-inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kFormatVersion = 2;  // v2: IssStats threaded counters
 
 /// Serializes the full platform state.
 std::vector<uint8_t> save(const platform::ReferenceBoard& board);

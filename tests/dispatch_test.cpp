@@ -33,6 +33,17 @@ iss::IssConfig steppingConfig() {
   return cfg;
 }
 
+/// Threaded-code backend with aggressive lowering: blocks lower after
+/// two executions, traces form after two dispatches, so even short
+/// programs run mostly as host handler arrays.
+iss::IssConfig threadedConfig() {
+  iss::IssConfig cfg;
+  cfg.dispatch_mode = iss::DispatchMode::kThreaded;
+  cfg.trace_threshold = 2;
+  cfg.threaded_threshold = 2;
+  return cfg;
+}
+
 // A hot nested loop: the inner block re-enters itself 20 times per outer
 // iteration, so a low-threshold trace engine unrolls it into a
 // superblock whose guards fail exactly once per inner-loop exit.
@@ -296,6 +307,147 @@ off:    halt
   iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
   ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
   expectSameState(iss, slow);
+}
+
+// ---- threaded-code backend corner cases ------------------------------
+
+TEST(ThreadedDispatch, LowersHotBlocksAndTracesAndStaysExact) {
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss fast(defaultArch(), obj, nullptr, threadedConfig());
+  ASSERT_EQ(fast.run(), iss::StopReason::kHalted);
+  // The hot loop really ran through lowered programs — both the block
+  // and trace flavours — not the interpreted fallback.
+  EXPECT_GT(fast.stats().threaded_lowerings, 0u);
+  EXPECT_GT(fast.stats().threaded_dispatches, 0u);
+  EXPECT_GT(fast.stats().trace_dispatches, 0u);
+  EXPECT_GT(fast.stats().threaded_instrs, fast.stats().instructions / 2);
+  EXPECT_EQ(fast.stats().threaded_declined, 0u);
+
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(fast, slow);
+}
+
+TEST(ThreadedDispatch, BreakpointOnLoweredBlockForcesFallback) {
+  // The inner block is already lowered to a threaded program when the
+  // breakpoint lands on it: the dispatch-time flag test must refuse the
+  // lowered program (and the trace containing it) and fall back to the
+  // stepping engine, without invalidating the lowering — removal
+  // restores full threaded dispatch.
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss iss(defaultArch(), obj, nullptr, threadedConfig());
+  iss::IssConfig limit_cfg = threadedConfig();
+  limit_cfg.max_instructions = 300;
+  iss::Iss probe(defaultArch(), obj, nullptr, limit_cfg);
+  EXPECT_EQ(probe.run(), iss::StopReason::kMaxInstructions);
+  EXPECT_GT(probe.stats().threaded_dispatches, 0u);
+
+  const uint32_t bp = 0x80000010;  // 'xor' inside the lowered inner block
+  iss::Iss broken(defaultArch(), obj, nullptr, threadedConfig());
+  broken.addBreakpoint(bp);
+  uint64_t stops = 0;
+  while (broken.run() == iss::StopReason::kDebugBreak) {
+    EXPECT_EQ(broken.pc(), bp);
+    if (++stops == 5 && broken.stats().threaded_dispatches > 0) {
+      // Heated past the threshold mid-phase: the flagged block must
+      // still never dispatch through its threaded program.
+      break;
+    }
+    ASSERT_LT(stops, 1000u);
+  }
+  if (broken.stopReason() == iss::StopReason::kDebugBreak) {
+    broken.removeBreakpoint(bp);
+    const uint64_t threaded_before = broken.stats().threaded_dispatches;
+    ASSERT_EQ(broken.run(), iss::StopReason::kHalted);
+    EXPECT_GT(broken.stats().threaded_dispatches, threaded_before);
+  } else {
+    ASSERT_EQ(broken.stopReason(), iss::StopReason::kHalted);
+    EXPECT_EQ(stops, 200u);  // every inner iteration crossed it
+  }
+
+  ASSERT_EQ(iss.run(), iss::StopReason::kHalted);
+  expectSameState(broken, iss);
+}
+
+TEST(ThreadedDispatch, QuantumSliceExpiryMidProgramYieldsExactly) {
+  // runUntil limits fall between the original block boundaries inside
+  // lowered trace programs: the threaded dispatcher must yield at the
+  // identical boundary, with the identical local time and pc, as the
+  // stepping engine.
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  iss::Iss fast(defaultArch(), obj, nullptr, threadedConfig());
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  std::vector<std::pair<uint64_t, uint32_t>> fast_yields;
+  std::vector<std::pair<uint64_t, uint32_t>> slow_yields;
+  for (uint64_t t = 25;; t += 25) {
+    const iss::StopReason r = fast.runUntil(t);
+    if (r != iss::StopReason::kCycleLimit) {
+      ASSERT_EQ(r, iss::StopReason::kHalted);
+      break;
+    }
+    fast_yields.push_back({fast.localTime(), fast.pc()});
+  }
+  for (uint64_t t = 25;; t += 25) {
+    const iss::StopReason r = slow.runUntil(t);
+    if (r != iss::StopReason::kCycleLimit) {
+      ASSERT_EQ(r, iss::StopReason::kHalted);
+      break;
+    }
+    slow_yields.push_back({slow.localTime(), slow.pc()});
+  }
+  EXPECT_GT(fast.stats().threaded_dispatches, 0u);
+  EXPECT_EQ(fast_yields, slow_yields);
+  expectSameState(fast, slow);
+}
+
+TEST(ThreadedDispatch, InstructionLimitTruncatesExactly) {
+  // The admission check refuses whole lowered programs that would
+  // overshoot max_instructions, stepping the remainder — the stop lands
+  // on the precise instruction for every limit.
+  const elf::Object obj = trc::assemble(kNestedLoops);
+  for (const uint64_t limit : {57u, 100u, 333u, 801u}) {
+    SCOPED_TRACE("limit " + std::to_string(limit));
+    iss::IssConfig fast_cfg = threadedConfig();
+    fast_cfg.max_instructions = limit;
+    iss::Iss fast(defaultArch(), obj, nullptr, fast_cfg);
+    EXPECT_EQ(fast.run(), iss::StopReason::kMaxInstructions);
+    iss::IssConfig slow_cfg = steppingConfig();
+    slow_cfg.max_instructions = limit;
+    iss::Iss slow(defaultArch(), obj, nullptr, slow_cfg);
+    EXPECT_EQ(slow.run(), iss::StopReason::kMaxInstructions);
+    EXPECT_EQ(fast.stats().instructions, limit);
+    expectSameState(fast, slow);
+  }
+}
+
+TEST(ThreadedDispatch, IndirectJumpLeavesLoweredRegionExactly) {
+  // An indirect jump lands in the middle of a block whose region is
+  // already lowered: the landing is not a leader, so the dispatcher
+  // must re-warm the stepping engine mid-block — with the pipeline
+  // timer and icache line tracking replayed — before threaded dispatch
+  // resumes at the next leader.
+  const char* kProgram = R"(
+_start: movi d5, 3
+again:  movi d0, 30
+body:   add d1, d1, d0
+mid:    xor d2, d1, d5
+        addi16 d0, -1
+        jnz16 d0, body
+        addi16 d5, -1
+        jz16 d5, done
+        movha a2, hi(mid)
+        lea a2, a2, lo(mid)
+        movi d0, 1
+        ji a2
+done:   halt
+)";
+  const elf::Object obj = trc::assemble(kProgram);
+  iss::Iss fast(defaultArch(), obj, nullptr, threadedConfig());
+  ASSERT_EQ(fast.run(), iss::StopReason::kHalted);
+  EXPECT_GT(fast.stats().threaded_dispatches, 0u);
+  iss::Iss slow(defaultArch(), obj, nullptr, steppingConfig());
+  ASSERT_EQ(slow.run(), iss::StopReason::kHalted);
+  expectSameState(fast, slow);
 }
 
 TEST(BreakpointFlags, AddAndRemoveMidRunTogglesTraceUse) {

@@ -7,7 +7,7 @@
 // because every shared-state access still happens at its sequential
 // dispatch position; only core-private quantum prefixes overlap on
 // worker threads. The grid crosses board size {1,2,4,8 cores} x quantum
-// {1,16,256,4096} x all four detail levels x all three dispatch modes
+// {1,16,256,4096} x all four detail levels x all four dispatch modes
 // and compares every observable the simulation has.
 #include <gtest/gtest.h>
 
@@ -256,7 +256,7 @@ TEST_P(ParallelGrid, BitIdenticalToSequentialKernel) {
         xlat::DetailLevel::kBranchPredict, xlat::DetailLevel::kICache}) {
     for (const iss::DispatchMode mode :
          {iss::DispatchMode::kLookup, iss::DispatchMode::kChained,
-          iss::DispatchMode::kChainedTraces}) {
+          iss::DispatchMode::kChainedTraces, iss::DispatchMode::kThreaded}) {
       SCOPED_TRACE(std::string(xlat::detailLevelName(level)) + ", mode " +
                    std::to_string(static_cast<int>(mode)));
       const BoardSnapshot seq =

@@ -278,6 +278,15 @@ TEST_P(RandomPrograms, AllVehiclesAgree) {
     cfg.trace_threshold = 2;
     compareEngines(cfg, "traces(threshold=2)", true);
   }
+  {
+    // Low thresholds so even short random programs lower both hot
+    // blocks and formed traces into threaded-code programs.
+    iss::IssConfig cfg;
+    cfg.dispatch_mode = iss::DispatchMode::kThreaded;
+    cfg.trace_threshold = 2;
+    cfg.threaded_threshold = 2;
+    compareEngines(cfg, "threaded(threshold=2)", true);
+  }
 
   // RT-level model: exact cycle agreement.
   rtlsim::RtlCore rtl(desc, obj);
@@ -412,7 +421,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MultiCoreRandomPrograms,
 // registers, the full bus transaction log and the rolling state digest —
 // must match an uninterrupted run bit-exactly. Odd seeds run under the
 // parallel-round kernel, so the save point also lands between parallel
-// rounds.
+// rounds; the dispatch mode cycles with the seed, so cold restores land
+// in every engine, including threaded-code programs re-lowered from a
+// cache rebuilt after restore.
 
 class SnapshotFuzz : public ::testing::TestWithParam<uint32_t> {};
 
@@ -432,9 +443,18 @@ TEST_P(SnapshotFuzz, RandomCycleSaveRestoreBitIdentical) {
     ptrs.push_back(&obj);
   }
   const bool parallel = GetParam() % 2 == 1;
+  static const iss::DispatchMode kModes[] = {
+      iss::DispatchMode::kLookup, iss::DispatchMode::kChained,
+      iss::DispatchMode::kChainedTraces, iss::DispatchMode::kThreaded};
+  const iss::DispatchMode mode = kModes[GetParam() % 4];
   const auto build = [&] {
     platform::BoardConfig cfg;
     cfg.quantum = 256;
+    cfg.iss.dispatch_mode = mode;
+    // Aggressive formation so short fuzz programs still exercise traces
+    // and threaded lowering before the random save point.
+    cfg.iss.trace_threshold = 2;
+    cfg.iss.threaded_threshold = 2;
     cfg.parallel.enabled = parallel;
     cfg.parallel.workers = 2;
     return std::make_unique<platform::ReferenceBoard>(desc, ptrs, cfg);

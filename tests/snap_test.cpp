@@ -253,15 +253,18 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(GridParam{iss::DispatchMode::kLookup, false},
                       GridParam{iss::DispatchMode::kChained, false},
                       GridParam{iss::DispatchMode::kChainedTraces, false},
+                      GridParam{iss::DispatchMode::kThreaded, false},
                       GridParam{iss::DispatchMode::kLookup, true},
                       GridParam{iss::DispatchMode::kChained, true},
-                      GridParam{iss::DispatchMode::kChainedTraces, true}),
+                      GridParam{iss::DispatchMode::kChainedTraces, true},
+                      GridParam{iss::DispatchMode::kThreaded, true}),
     [](const ::testing::TestParamInfo<GridParam>& info) {
       const char* mode =
           info.param.mode == iss::DispatchMode::kLookup ? "lookup"
-          : info.param.mode == iss::DispatchMode::kChained
-              ? "chained"
-              : "traces";
+          : info.param.mode == iss::DispatchMode::kChained ? "chained"
+          : info.param.mode == iss::DispatchMode::kChainedTraces
+              ? "traces"
+              : "threaded";
       return std::string(mode) + (info.param.parallel ? "_par" : "_seq");
     });
 
@@ -352,7 +355,8 @@ TEST(Replay, DigestIsDispatchModeIndependent) {
   ref->run();
   const uint64_t want = snap::digest(*ref);
   for (const iss::DispatchMode mode :
-       {iss::DispatchMode::kLookup, iss::DispatchMode::kChained}) {
+       {iss::DispatchMode::kLookup, iss::DispatchMode::kChained,
+        iss::DispatchMode::kThreaded}) {
     RunConfig rc;
     rc.mode = mode;
     auto board = buildBoard(grid, rc);
