@@ -45,13 +45,18 @@ struct DispatchRun {
   uint64_t cycles = 0;
   double host_seconds = 0;
   iss::IssStats stats;
+  std::string hot_symbol;
   [[nodiscard]] double hostMips() const {
     return static_cast<double>(instructions) / host_seconds / 1e6;
   }
 };
 
+/// `metrics`/`prefix` (optional) publish the final repeat's full ISS
+/// counter set into an obs registry for the METRICS_*.json record.
 DispatchRun runDispatch(const elf::Object& obj, xlat::DetailLevel level,
-                        iss::DispatchMode mode, int repeats) {
+                        iss::DispatchMode mode, int repeats,
+                        obs::MetricsRegistry* metrics = nullptr,
+                        const std::string& prefix = {}) {
   const arch::ArchDescription desc = defaultArch();
   iss::IssConfig cfg = platform::issConfigFor(level);
   cfg.dispatch_mode = mode;
@@ -71,6 +76,15 @@ DispatchRun runDispatch(const elf::Object& obj, xlat::DetailLevel level,
     result.instructions = iss.stats().instructions;
     result.cycles = iss.stats().cycles;
     result.stats = iss.stats();
+    if (r + 1 == repeats) {
+      const std::vector<iss::HotBlock> hot = iss.hotBlocks(1);
+      if (!hot.empty()) {
+        result.hot_symbol = hot.front().symbol;
+      }
+      if (metrics != nullptr) {
+        iss.publishMetrics(*metrics, prefix);
+      }
+    }
   }
   result.host_seconds = best;
   return result;
@@ -81,6 +95,7 @@ void printComparison() {
               "the section-2 interpretation-overhead argument, grown to "
               "chained/trace dispatch");
   JsonReport report("ablation_dispatch");
+  obs::MetricsRegistry metrics;
   std::printf("%-10s %-14s %9s %9s %9s %9s %8s %8s %10s\n", "workload",
               "detail", "lookup", "chained", "traces", "threaded",
               "trace x", "thrd x", "bails");
@@ -91,15 +106,17 @@ void printComparison() {
       for (size_t v = 0; v < kNumVariants; ++v) {
         // Whole programs retire in micro- to milliseconds: a generous
         // best-of keeps the row stable against scheduling noise.
-        runs[v] = runDispatch(obj, level, kVariants[v].mode, 15);
+        const std::string variant =
+            std::string(xlat::detailLevelName(level)) + "/" +
+            kVariants[v].name;
+        runs[v] = runDispatch(obj, level, kVariants[v].mode, 15, &metrics,
+                              name + "." + variant + ".");
         if (runs[v].instructions != runs[0].instructions ||
             runs[v].cycles != runs[0].cycles) {
           throw Error(std::string("dispatch variants diverged on ") + name);
         }
-        report.add(name,
-                   std::string(xlat::detailLevelName(level)) + "/" +
-                       kVariants[v].name,
-                   runs[v].cycles, runs[v].hostMips(), &runs[v].stats);
+        report.add(name, variant, runs[v].cycles, runs[v].hostMips(),
+                   &runs[v].stats, runs[v].hot_symbol);
       }
       std::printf(
           "%-10s %-14s %9.2f %9.2f %9.2f %9.2f %7.2fx %7.2fx %10llu\n",
@@ -111,6 +128,7 @@ void printComparison() {
     }
   }
   report.write();
+  report.writeMetrics(metrics);
 }
 
 void registerBenchmarks() {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "iss/iss.h"
+#include "obs/metrics.h"
 #include "platform/platform.h"
 #include "workloads/workloads.h"
 #include "xlat/translator.h"
@@ -37,6 +38,9 @@ struct BoardRun {
   /// Full ISS counters (dispatch-path statistics included) for the
   /// BENCH_<name>.json records.
   iss::IssStats stats;
+  /// Hottest block's enclosing function, symbolized through the image's
+  /// symbol table (src/elf SymbolIndex); empty when no block engine ran.
+  std::string hot_symbol;
   [[nodiscard]] double seconds() const {
     return static_cast<double>(cycles) / kBoardHz;
   }
@@ -106,11 +110,14 @@ class JsonReport {
 
   /// `iss` (optional) attaches the dispatch-path counters to the row,
   /// so the perf trajectory records *why* ISS speed changed (chained vs
-  /// looked-up vs trace dispatches), not just the MIPS.
+  /// looked-up vs trace dispatches), not just the MIPS. `hot_function`
+  /// (optional) names the symbolized hottest block of the run.
   void add(const std::string& workload, const std::string& variant,
            uint64_t cycles, double host_mips,
-           const iss::IssStats* iss = nullptr) {
-    Row row{workload, variant, cycles, host_mips, false, 0, 0, 0};
+           const iss::IssStats* iss = nullptr,
+           const std::string& hot_function = {}) {
+    Row row{workload, variant, cycles, host_mips, false, 0, 0, 0,
+            hot_function};
     if (iss != nullptr) {
       row.have_dispatch = true;
       row.chain_hits = iss->chain_hits;
@@ -142,9 +149,26 @@ class JsonReport {
             << ", \"trace_dispatches\": " << r.trace_dispatches
             << ", \"guard_bails\": " << r.guard_bails;
       }
+      if (!r.hot_function.empty()) {
+        out << ", \"hot_function\": \"" << r.hot_function << "\"";
+      }
       out << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
+  }
+
+  /// Writes the companion METRICS_<name>.json: a full metrics-registry
+  /// snapshot (src/obs) next to the per-row perf record, folded into
+  /// BENCH_SUMMARY.md by scripts/bench_report.py.
+  void writeMetrics(const obs::MetricsRegistry& reg) const {
+    const std::string path =
+        benchOutputPath("METRICS_" + bench_name_ + ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << reg.toJson();
   }
 
  private:
@@ -157,6 +181,7 @@ class JsonReport {
     uint64_t chain_hits = 0;
     uint64_t trace_dispatches = 0;
     uint64_t guard_bails = 0;
+    std::string hot_function;
   };
   std::string bench_name_;
   std::vector<Row> rows_;
@@ -174,9 +199,15 @@ inline BoardRun runBoard(const arch::ArchDescription& desc,
     throw Error("reference run did not halt");
   }
   const auto t1 = std::chrono::steady_clock::now();
-  return {ref.stats().instructions, ref.stats().cycles,
-          ref.stats().blocks, ref.stats().cached_blocks,
-          std::chrono::duration<double>(t1 - t0).count(), ref.stats()};
+  BoardRun r{ref.stats().instructions, ref.stats().cycles,
+             ref.stats().blocks, ref.stats().cached_blocks,
+             std::chrono::duration<double>(t1 - t0).count(), ref.stats(),
+             {}};
+  const std::vector<iss::HotBlock> hot = ref.hotBlocks(1);
+  if (!hot.empty()) {
+    r.hot_symbol = hot.front().symbol;
+  }
+  return r;
 }
 
 inline VariantRun runVariant(const arch::ArchDescription& desc,

@@ -65,10 +65,12 @@ void printFigure(const std::vector<Row>& rows) {
     std::printf("\n");
   }
   std::printf("\nreference board host speed (block-cached ISS):\n");
-  std::printf("%-10s %14s %10s\n", "workload", "host MIPS", "cached");
+  std::printf("%-10s %14s %10s  %s\n", "workload", "host MIPS", "cached",
+              "hottest block");
   for (const Row& r : rows) {
-    std::printf("%-10s %14.2f %9.1f%%\n", r.workload.c_str(),
-                r.board.hostMips(), r.board.cacheShare() * 100.0);
+    std::printf("%-10s %14.2f %9.1f%%  %s\n", r.workload.c_str(),
+                r.board.hostMips(), r.board.cacheShare() * 100.0,
+                r.board.hot_symbol.c_str());
   }
 }
 
@@ -125,9 +127,18 @@ int main(int argc, char** argv) {
   cabt::bench::printFigure(rows);
   {
     cabt::bench::JsonReport report("fig5_speed");
+    cabt::obs::MetricsRegistry metrics;
     for (const auto& r : rows) {
       report.add(r.workload, "board", r.board.cycles, r.board.hostMips(),
-                 &r.board.stats);
+                 &r.board.stats, r.board.hot_symbol);
+      metrics.setCounter("fig5." + r.workload + ".board.instructions",
+                         r.board.stats.instructions);
+      metrics.setCounter("fig5." + r.workload + ".board.cycles",
+                         r.board.stats.cycles);
+      metrics.setCounter("fig5." + r.workload + ".board.icache_misses",
+                         r.board.stats.icache_misses);
+      metrics.observe("fig5.board.host_mips_x100",
+                      static_cast<uint64_t>(r.board.hostMips() * 100.0));
       for (size_t v = 0; v < r.variants.size(); ++v) {
         report.add(r.workload,
                    cabt::xlat::detailLevelName(cabt::bench::allLevels()[v]),
@@ -136,6 +147,7 @@ int main(int argc, char** argv) {
       }
     }
     report.write();
+    report.writeMetrics(metrics);
   }
   benchmark::Initialize(&argc, argv);
   cabt::bench::registerBenchmarks(rows);

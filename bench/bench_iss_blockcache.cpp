@@ -33,13 +33,18 @@ struct EngineRun {
   uint64_t cycles = 0;
   double host_seconds = 0;
   iss::IssStats stats;
+  std::string hot_symbol;
   [[nodiscard]] double hostMips() const {
     return static_cast<double>(instructions) / host_seconds / 1e6;
   }
 };
 
+/// `metrics`/`prefix` (optional) publish the final repeat's full ISS
+/// counter set into an obs registry for the METRICS_*.json record.
 EngineRun runIss(const elf::Object& obj, const IssMode& mode,
-                 bool block_cache, int repeats) {
+                 bool block_cache, int repeats,
+                 obs::MetricsRegistry* metrics = nullptr,
+                 const std::string& prefix = {}) {
   arch::ArchDescription desc = defaultArch();
   desc.icache.enabled = mode.icache;
   iss::IssConfig cfg;
@@ -63,6 +68,15 @@ EngineRun runIss(const elf::Object& obj, const IssMode& mode,
     result.instructions = iss.stats().instructions;
     result.cycles = iss.stats().cycles;
     result.stats = iss.stats();
+    if (r + 1 == repeats) {
+      const std::vector<iss::HotBlock> hot = iss.hotBlocks(1);
+      if (!hot.empty()) {
+        result.hot_symbol = hot.front().symbol;
+      }
+      if (metrics != nullptr) {
+        iss.publishMetrics(*metrics, prefix);
+      }
+    }
   }
   result.host_seconds = best;
   return result;
@@ -72,13 +86,18 @@ void printComparison() {
   printHeader("ISS block-cache speedup [host MIPS]",
               "the section-2 interpretation-overhead argument");
   JsonReport report("iss_blockcache");
+  obs::MetricsRegistry metrics;
   std::printf("%-10s %-14s %12s %12s %9s\n", "workload", "mode",
               "step MIPS", "block MIPS", "speedup");
   for (const std::string& name : workloads::figure5Names()) {
     const elf::Object obj = workloads::assemble(workloads::get(name));
     for (const IssMode& mode : kModes) {
-      const EngineRun slow = runIss(obj, mode, /*block_cache=*/false, 3);
-      const EngineRun fast = runIss(obj, mode, /*block_cache=*/true, 3);
+      const EngineRun slow =
+          runIss(obj, mode, /*block_cache=*/false, 3, &metrics,
+                 name + "." + mode.name + ".step.");
+      const EngineRun fast =
+          runIss(obj, mode, /*block_cache=*/true, 3, &metrics,
+                 name + "." + mode.name + ".block.");
       if (slow.instructions != fast.instructions ||
           slow.cycles != fast.cycles) {
         throw Error("engines diverged on " + name);
@@ -87,12 +106,13 @@ void printComparison() {
                   mode.name, slow.hostMips(), fast.hostMips(),
                   slow.host_seconds / fast.host_seconds);
       report.add(name, std::string(mode.name) + "/step", slow.cycles,
-                 slow.hostMips(), &slow.stats);
+                 slow.hostMips(), &slow.stats, slow.hot_symbol);
       report.add(name, std::string(mode.name) + "/block", fast.cycles,
-                 fast.hostMips(), &fast.stats);
+                 fast.hostMips(), &fast.stats, fast.hot_symbol);
     }
   }
   report.write();
+  report.writeMetrics(metrics);
 }
 
 void registerBenchmarks() {

@@ -26,6 +26,7 @@ struct Row {
   double fpga_seconds = 0;
   double xlat_seconds[3] = {0, 0, 0};  // cycle info / branch pred / cache
   iss::IssStats board_stats;
+  std::string hot_symbol;
 };
 
 Row collectRow(const std::string& name) {
@@ -37,6 +38,7 @@ Row collectRow(const std::string& name) {
   row.instructions = board.instructions;
   row.board_host_seconds = board.host_seconds;
   row.board_stats = board.stats;
+  row.hot_symbol = board.hot_symbol;
   row.fpga_seconds = static_cast<double>(board.cycles) / kFpgaHz;
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -111,7 +113,7 @@ int main(int argc, char** argv) {
       const double board_mips = static_cast<double>(r.instructions) /
                                 r.board_host_seconds / 1e6;
       report.add(r.workload, "board-host", r.board_stats.cycles, board_mips,
-                 &r.board_stats);
+                 &r.board_stats, r.hot_symbol);
       report.add(r.workload, "rtlsim-host", r.instructions, rtl_mips);
       report.add(r.workload, "fpga-modeled",
                  static_cast<uint64_t>(r.fpga_seconds * kFpgaHz), 0.0);

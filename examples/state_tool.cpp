@@ -10,6 +10,8 @@
 //                        [--dispatch=...]
 //   state_tool save <scenario> --out=FILE [--at=N] [--level=...]
 //   state_tool resume <scenario> --in=FILE [--to=N] [--level=...]
+//   state_tool profile <scenario> [--period=N] [--top=N]
+//                      [--fold-out=FILE] [...common flags]
 //
 // `--dispatch=lookup|chained|traces|threaded` selects the ISS dispatch
 // engine (default: the detail level's stock engine). With selfcheck it
@@ -17,16 +19,34 @@
 // `--dispatch=threaded` restores into a board whose block cache (and
 // with it every lowered threaded-code program) starts empty.
 //
+// Observability (src/obs, DESIGN.md section 11) — every board-running
+// command additionally accepts:
+//   --trace-out=FILE    write a Chrome trace-event / Perfetto JSON
+//                       timeline (open in ui.perfetto.dev)
+//   --metrics           print the metrics registry as text on stdout
+//   --metrics-out=FILE  write the metrics registry as JSON
+//   --cores=N           replicate a single-program scenario onto N cores
+// `profile` runs the guest sampling profiler: samples the PC every
+// --period guest cycles at block boundaries, attributes samples through
+// the image's symbol table, prints a per-core top-N table and writes
+// flamegraph-foldable lines ("coreN;func count") to --fold-out.
+// Observers never perturb architectural state: digests with and without
+// any of these flags are identical (tests/obs_test.cpp).
+//
 // Scenarios: irq_ticks (1 core), mc_pair (producer + consumer),
 // mc_worker (solo), mc_quad (pair + two workers). `digest` prints one
 // `trail <cycle> <digest>` line per checkpoint interval (when
 // --interval is given) and a final machine-parsable summary line.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "platform/platform.h"
 #include "snap/snapshot.h"
 #include "workloads/workloads.h"
@@ -86,7 +106,7 @@ struct Scenario {
 
 Scenario makeScenario(const std::string& name, xlat::DetailLevel level,
                       sim::Cycle quantum, bool parallel,
-                      const std::string& dispatch) {
+                      const std::string& dispatch, size_t cores) {
   Scenario s;
   std::vector<const workloads::Workload*> programs;
   if (name == "irq_ticks") {
@@ -103,6 +123,12 @@ Scenario makeScenario(const std::string& name, xlat::DetailLevel level,
   } else {
     throw Error("unknown scenario '" + name +
                 "' (irq_ticks|mc_pair|mc_worker|mc_quad)");
+  }
+  if (cores != 0 && cores != programs.size()) {
+    CABT_CHECK(programs.size() == 1,
+               "--cores only replicates single-program scenarios; '"
+                   << name << "' already has " << programs.size());
+    programs.resize(cores, programs.front());
   }
   s.cfg.iss = platform::issConfigFor(level);
   if (!dispatch.empty()) {
@@ -122,6 +148,42 @@ Scenario makeScenario(const std::string& name, xlat::DetailLevel level,
   }
   return s;
 }
+
+/// Common observability plumbing for the board-running commands.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  bool metrics_text = false;
+
+  [[nodiscard]] bool traceWanted() const { return !trace_out.empty(); }
+
+  /// After the run: export the timeline and/or the metrics registry.
+  void finish(const platform::ReferenceBoard& board,
+              const obs::TraceSink& sink) const {
+    if (traceWanted()) {
+      std::ofstream out(trace_out);
+      CABT_CHECK(out.good(), "cannot open '" << trace_out << "'");
+      sink.writeJson(out);
+      std::printf("trace %s events=%zu dropped=%llu\n", trace_out.c_str(),
+                  sink.numEvents(),
+                  static_cast<unsigned long long>(sink.droppedEvents()));
+    }
+    if (metrics_text || !metrics_out.empty()) {
+      obs::MetricsRegistry reg;
+      board.publishMetrics(reg);
+      if (metrics_text) {
+        std::fputs(reg.toText().c_str(), stdout);
+      }
+      if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        CABT_CHECK(out.good(), "cannot open '" << metrics_out << "'");
+        out << reg.toJson();
+        std::printf("metrics %s entries=%zu\n", metrics_out.c_str(),
+                    reg.size());
+      }
+    }
+  }
+};
 
 void printSummary(const platform::ReferenceBoard& board) {
   uint64_t instructions = 0;
@@ -149,6 +211,11 @@ int main(int argc, char** argv) {
     std::string dispatch;
     std::string in_path;
     std::string out_path;
+    size_t cores = 0;
+    uint64_t period = 64;
+    size_t top_n = 10;
+    std::string fold_out;
+    ObsOptions obs_opts;
 
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -168,6 +235,20 @@ int main(int argc, char** argv) {
         in_path = arg.substr(5);
       } else if (arg.rfind("--out=", 0) == 0) {
         out_path = arg.substr(6);
+      } else if (arg.rfind("--cores=", 0) == 0) {
+        cores = std::strtoull(arg.c_str() + 8, nullptr, 0);
+      } else if (arg.rfind("--period=", 0) == 0) {
+        period = std::strtoull(arg.c_str() + 9, nullptr, 0);
+      } else if (arg.rfind("--top=", 0) == 0) {
+        top_n = std::strtoull(arg.c_str() + 6, nullptr, 0);
+      } else if (arg.rfind("--fold-out=", 0) == 0) {
+        fold_out = arg.substr(11);
+      } else if (arg.rfind("--trace-out=", 0) == 0) {
+        obs_opts.trace_out = arg.substr(12);
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        obs_opts.metrics_out = arg.substr(14);
+      } else if (arg == "--metrics") {
+        obs_opts.metrics_text = true;
       } else if (arg == "--parallel") {
         parallel = true;
       } else if (!arg.empty() && arg[0] != '-') {
@@ -184,20 +265,28 @@ int main(int argc, char** argv) {
     }
     if (command.empty() || scenario_name.empty()) {
       std::fprintf(stderr,
-                   "usage: %s digest|selfcheck|save|resume <scenario> "
+                   "usage: %s digest|selfcheck|save|resume|profile "
+                   "<scenario> "
                    "[--level=functional|static|branch|cache] [--quantum=N] "
                    "[--interval=N] [--at=N] [--to=N] [--in=F] [--out=F] "
-                   "[--parallel] "
-                   "[--dispatch=lookup|chained|traces|threaded]\n",
+                   "[--parallel] [--cores=N] "
+                   "[--dispatch=lookup|chained|traces|threaded] "
+                   "[--trace-out=F] [--metrics] [--metrics-out=F] "
+                   "[--period=N] [--top=N] [--fold-out=F]\n",
                    argv[0]);
       return 2;
     }
 
     const Scenario scenario =
-        makeScenario(scenario_name, level, quantum, parallel, dispatch);
+        makeScenario(scenario_name, level, quantum, parallel, dispatch,
+                     cores);
 
     if (command == "digest") {
       std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      obs::TraceSink sink;
+      if (obs_opts.traceWanted()) {
+        board->setTraceSink(&sink);
+      }
       if (interval != 0) {
         board->setCheckpointing({interval, 1});
       }
@@ -208,6 +297,41 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(digest));
       }
       printSummary(*board);
+      obs_opts.finish(*board, sink);
+      return 0;
+    }
+
+    if (command == "profile") {
+      std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      obs::TraceSink sink;
+      if (obs_opts.traceWanted()) {
+        board->setTraceSink(&sink);
+      }
+      std::vector<std::unique_ptr<obs::PcSampler>> samplers;
+      for (size_t i = 0; i < board->numCores(); ++i) {
+        samplers.push_back(std::make_unique<obs::PcSampler>(period));
+        board->attachSampler(i, samplers.back().get());
+      }
+      board->run();
+      std::string folded;
+      for (size_t i = 0; i < board->numCores(); ++i) {
+        const std::vector<obs::ProfileEntry> entries =
+            obs::attributeSamples(*samplers[i], board->core(i).symbols());
+        std::printf("core%zu: %llu samples, period %llu cycles\n", i,
+                    static_cast<unsigned long long>(
+                        samplers[i]->totalSamples()),
+                    static_cast<unsigned long long>(samplers[i]->period()));
+        std::fputs(obs::topTable(entries, top_n).c_str(), stdout);
+        folded += obs::foldedLines("core" + std::to_string(i), entries);
+      }
+      if (!fold_out.empty()) {
+        std::ofstream out(fold_out);
+        CABT_CHECK(out.good(), "cannot open '" << fold_out << "'");
+        out << folded;
+        std::printf("folded %s\n", fold_out.c_str());
+      }
+      printSummary(*board);
+      obs_opts.finish(*board, sink);
       return 0;
     }
 

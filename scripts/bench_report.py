@@ -15,9 +15,21 @@ artifact and enforces two gates:
     sequential kernel (at smaller quanta the round barrier is expected
     to dominate; that region is reported but not gated).
 
+A third, opt-in gate compares against a saved baseline directory:
+
+  * baseline — with --baseline DIR, every (bench, workload, variant)
+    row present in both trees must reach --baseline-min-ratio x the
+    baseline host MIPS (default 0.90 for runner noise; the
+    observability PR's local acceptance bar is 0.98 on the
+    sinks-disabled chained/threaded ablation rows).
+
+METRICS_*.json companions (full obs-registry snapshots written by the
+bench binaries) are folded into the summary as collapsible sections.
+
 Usage:
     scripts/bench_report.py [--dir DIR] [--out BENCH_SUMMARY.md]
                             [--min-ratio 0.9] [--min-parallel-ratio 0.85]
+                            [--baseline DIR] [--baseline-min-ratio 0.9]
 
 Exit status 1 when a gate fails (or a required record is missing while
 --require-ablation / --require-parallel is set). The default ratios give
@@ -47,17 +59,38 @@ def load_records(directory):
     return records
 
 
-def render_summary(records):
+def load_metrics(directory):
+    """METRICS_<bench>.json -> {bench: {path: metric-dict}}. Malformed
+    files are skipped with a warning, like load_records."""
+    metrics = {}
+    for path in sorted(glob.glob(os.path.join(directory, "METRICS_*.json"))):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {path}: {e}", file=sys.stderr)
+            continue
+        name = os.path.basename(path)[len("METRICS_"):-len(".json")]
+        metrics[name] = data.get("metrics", {})
+    return metrics
+
+
+def render_summary(records, metrics=None):
+    metrics = metrics or {}
     lines = ["# Bench summary", ""]
     for bench, rows in records.items():
         lines.append(f"## {bench}")
         lines.append("")
         have_dispatch = any("chain_hits" in r for r in rows)
+        have_hot = any(r.get("hot_function") for r in rows)
         header = "| workload | variant | cycles | host MIPS |"
         rule = "| --- | --- | ---: | ---: |"
         if have_dispatch:
             header += " chain hits | trace dispatches | guard bails |"
             rule += " ---: | ---: | ---: |"
+        if have_hot:
+            header += " hot function |"
+            rule += " --- |"
         lines.append(header)
         lines.append(rule)
         for r in rows:
@@ -66,15 +99,44 @@ def render_summary(records):
                 f"| {r.get('cycles', 0)} | {r.get('host_mips', 0):.2f} |"
             )
             if have_dispatch:
+                # Rows from older records (or non-ISS rows) may carry a
+                # partial counter set — never KeyError on them.
                 if "chain_hits" in r:
                     row += (
-                        f" {r['chain_hits']} | {r['trace_dispatches']} "
-                        f"| {r['guard_bails']} |"
+                        f" {r.get('chain_hits', 0)} "
+                        f"| {r.get('trace_dispatches', 0)} "
+                        f"| {r.get('guard_bails', 0)} |"
                     )
                 else:
                     row += " – | – | – |"
+            if have_hot:
+                row += f" {r.get('hot_function') or '–'} |"
             lines.append(row)
         lines.append("")
+        bench_metrics = metrics.get(bench)
+        if bench_metrics:
+            lines.append("<details>")
+            lines.append(
+                f"<summary>metrics registry ({len(bench_metrics)} "
+                "entries)</summary>"
+            )
+            lines.append("")
+            lines.append("| metric | type | value |")
+            lines.append("| --- | --- | ---: |")
+            for mpath in sorted(bench_metrics):
+                m = bench_metrics[mpath]
+                mtype = m.get("type", "?")
+                if mtype == "histogram":
+                    value = (
+                        f"count={m.get('count', 0)} sum={m.get('sum', 0)} "
+                        f"min={m.get('min', 0)} max={m.get('max', 0)}"
+                    )
+                else:
+                    value = m.get("value", 0)
+                lines.append(f"| {mpath} | {mtype} | {value} |")
+            lines.append("")
+            lines.append("</details>")
+            lines.append("")
     return "\n".join(lines) + "\n"
 
 
@@ -167,6 +229,39 @@ def check_parallel_gate(records, min_ratio, min_quantum=256):
     return compared, failures
 
 
+def check_baseline_gate(records, baseline_records, min_ratio):
+    """Every (bench, workload, variant) row present in both trees must
+    reach min_ratio x the baseline host MIPS.
+
+    Returns (compared_pairs, failures). Rows only one side has (new
+    benches, renamed variants) are skipped — the gate compares perf, it
+    does not pin the record schema. Zero compared pairs is a failure at
+    the caller (nothing overlapped — wrong baseline directory?).
+    """
+    compared = 0
+    failures = []
+    for bench, rows in sorted(records.items()):
+        base_rows = {
+            (r.get("workload"), r.get("variant")): r.get("host_mips", 0.0)
+            for r in baseline_records.get(bench, [])
+        }
+        for r in rows:
+            key = (r.get("workload"), r.get("variant"))
+            base_mips = base_rows.get(key)
+            mips = r.get("host_mips", 0.0)
+            if base_mips is None or base_mips <= 0 or mips <= 0:
+                continue  # modeled-only rows report 0 MIPS; skip them
+            compared += 1
+            ratio = mips / base_mips
+            if ratio < min_ratio:
+                failures.append(
+                    f"{bench}/{key[0]}/{key[1]}: {mips:.2f} MIPS vs "
+                    f"baseline {base_mips:.2f} MIPS (ratio {ratio:.2f} "
+                    f"< {min_ratio:.2f})"
+                )
+    return compared, failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--dir", default=".", help="where BENCH_*.json live")
@@ -194,6 +289,20 @@ def main():
         action="store_true",
         help="fail when BENCH_parallel_cores.json is absent",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help="directory of baseline BENCH_*.json records to gate "
+        "host-MIPS regressions against",
+    )
+    parser.add_argument(
+        "--baseline-min-ratio",
+        type=float,
+        default=0.9,
+        help="minimum current/baseline host-MIPS ratio per row (use "
+        "0.98 on a quiet machine for the 2%% observability budget)",
+    )
     args = parser.parse_args()
 
     records = load_records(args.dir)
@@ -215,9 +324,13 @@ def main():
             )
             return 1
         return 0
+    metrics = load_metrics(args.dir)
     with open(args.out, "w") as f:
-        f.write(render_summary(records))
-    print(f"wrote {args.out} ({len(records)} bench records)")
+        f.write(render_summary(records, metrics))
+    print(
+        f"wrote {args.out} ({len(records)} bench records, "
+        f"{len(metrics)} metrics snapshots)"
+    )
 
     dispatch_gate = {
         "name": "dispatch",
@@ -263,6 +376,36 @@ def main():
             print(
                 f"{g['name']} gate passed: " + g["passed"].format(n=compared)
             )
+    if args.baseline is not None:
+        baseline_records = load_records(args.baseline)
+        if not baseline_records:
+            print(
+                f"error: no BENCH_*.json records in baseline "
+                f"{args.baseline}",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            compared, failures = check_baseline_gate(
+                records, baseline_records, args.baseline_min_ratio
+            )
+            if compared == 0:
+                print(
+                    "error: baseline shares no rows with the current "
+                    "records — wrong directory?",
+                    file=sys.stderr,
+                )
+                status = 1
+            elif failures:
+                print("baseline gate FAILED:", file=sys.stderr)
+                for f_ in failures:
+                    print(f"  {f_}", file=sys.stderr)
+                status = 1
+            else:
+                print(
+                    f"baseline gate passed: {compared} rows at >= "
+                    f"{args.baseline_min_ratio:.2f}x baseline host MIPS"
+                )
     return status
 
 

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate observability artifacts: trace-event JSON and metrics JSON.
+
+Trace files (src/obs TraceSink, `state_tool --trace-out`) must follow
+the Chrome trace-event / Perfetto JSON array format this repo emits:
+
+  * top level is {"traceEvents": [...]} (displayTimeUnit optional);
+  * every event has a string "name", a "ph" in {X, i, M}, and integer
+    "pid" / "tid" (plus integer "ts" on non-metadata events);
+  * complete events (ph == X) carry an integer "dur";
+  * metadata events (ph == M) are thread_name records with
+    args.name — at least one must be present (a trace with no named
+    lane renders as bare numbers in ui.perfetto.dev);
+  * with --min-cores N, lanes "core0".."core<N-1>" must all be named
+    (the gate for multi-core scenario exports).
+
+Metrics files (src/obs MetricsRegistry, `state_tool --metrics-out`)
+must be {"metrics": {path: {"type": counter|gauge|histogram, ...}}}
+with value/count fields of the right JSON type.
+
+Usage:
+    scripts/obs_check.py --trace run.json [--min-cores 4]
+    scripts/obs_check.py --metrics metrics.json
+    scripts/obs_check.py --trace run.json --metrics metrics.json
+
+Exit status 1 on the first malformed file; every problem found is
+printed before exiting.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+
+
+def check_trace(path, min_cores):
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or not JSON: {e}"]
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        return [f"{path}: top level must be an object with 'traceEvents'"]
+    events = data["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: 'traceEvents' must be an array"]
+    named_lanes = set()
+    counts = {ph: 0 for ph in VALID_PHASES}
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing/empty 'name'")
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            errors.append(f"{where}: 'ph' {ph!r} not in {sorted(VALID_PHASES)}")
+            continue
+        counts[ph] += 1
+        # Metadata records carry no timestamp; everything else must.
+        required = ("pid", "tid") if ph == "M" else ("ts", "pid", "tid")
+        for field in required:
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where}: '{field}' missing or not an integer")
+        if ph == "X" and not isinstance(ev.get("dur"), int):
+            errors.append(f"{where}: complete event without integer 'dur'")
+        if ph == "M":
+            if name != "thread_name":
+                errors.append(f"{where}: metadata event is not thread_name")
+            lane = ev.get("args", {}).get("name")
+            if not isinstance(lane, str) or not lane:
+                errors.append(f"{where}: thread_name without args.name")
+            else:
+                named_lanes.add(lane)
+        if len(errors) > 20:
+            errors.append(f"{path}: ... further errors suppressed")
+            return errors
+    if counts["M"] == 0:
+        errors.append(f"{path}: no thread_name metadata — lanes unnamed")
+    for core in range(min_cores):
+        if f"core{core}" not in named_lanes:
+            errors.append(f"{path}: lane 'core{core}' is not named")
+    if not errors:
+        print(
+            f"{path}: OK — {counts['X']} complete, {counts['i']} instant, "
+            f"{counts['M']} metadata events, lanes: "
+            + ", ".join(sorted(named_lanes))
+        )
+    return errors
+
+
+def check_metrics(path):
+    errors = []
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or not JSON: {e}"]
+    if not isinstance(data, dict) or not isinstance(
+        data.get("metrics"), dict
+    ):
+        return [f"{path}: top level must be an object with 'metrics' object"]
+    metrics = data["metrics"]
+    if not metrics:
+        errors.append(f"{path}: metrics object is empty")
+    for mpath, m in metrics.items():
+        where = f"{path}: metrics[{mpath!r}]"
+        if not isinstance(m, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        mtype = m.get("type")
+        if mtype == "counter":
+            if not isinstance(m.get("value"), int):
+                errors.append(f"{where}: counter without integer 'value'")
+        elif mtype == "gauge":
+            if not isinstance(m.get("value"), (int, float)):
+                errors.append(f"{where}: gauge without numeric 'value'")
+        elif mtype == "histogram":
+            for field in ("count", "sum", "min", "max"):
+                if not isinstance(m.get(field), int):
+                    errors.append(
+                        f"{where}: histogram without integer '{field}'"
+                    )
+            if not isinstance(m.get("buckets"), list):
+                errors.append(f"{where}: histogram without 'buckets' array")
+        else:
+            errors.append(f"{where}: unknown type {mtype!r}")
+        if len(errors) > 20:
+            errors.append(f"{path}: ... further errors suppressed")
+            return errors
+    if not errors:
+        print(f"{path}: OK — {len(metrics)} metrics")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default=None, help="trace-event JSON file")
+    parser.add_argument("--metrics", default=None, help="metrics JSON file")
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=0,
+        help="require named core0..core<N-1> lanes in the trace",
+    )
+    args = parser.parse_args()
+    if args.trace is None and args.metrics is None:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+    errors = []
+    if args.trace is not None:
+        errors += check_trace(args.trace, args.min_cores)
+    if args.metrics is not None:
+        errors += check_metrics(args.metrics)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "elf/elf.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "common/bits.h"
@@ -101,6 +102,59 @@ const Symbol* Object::findSymbol(std::string_view name) const {
     }
   }
   return nullptr;
+}
+
+SymbolIndex::SymbolIndex(const Object& object) {
+  for (const Symbol& sym : object.symbols) {
+    if (sym.name.empty() || sym.section < 0 ||
+        static_cast<size_t>(sym.section) >= object.sections.size() ||
+        !object.sections[static_cast<size_t>(sym.section)].executable) {
+      continue;
+    }
+    entries_.push_back({sym.value, sym.name});
+  }
+  // (addr, name) order makes nameFor deterministic when two labels
+  // alias one address (the lexicographically first wins).
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.addr != b.addr ? a.addr < b.addr : a.name < b.name;
+            });
+  entries_.erase(std::unique(entries_.begin(), entries_.end(),
+                             [](const Entry& a, const Entry& b) {
+                               return a.addr == b.addr;
+                             }),
+                 entries_.end());
+}
+
+std::string_view SymbolIndex::nameFor(uint32_t addr) const {
+  // First entry strictly above addr, then step back to the covering one.
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), addr,
+                             [](uint32_t a, const Entry& e) {
+                               return a < e.addr;
+                             });
+  if (it == entries_.begin()) {
+    return {};
+  }
+  return std::prev(it)->name;
+}
+
+std::string SymbolIndex::describe(uint32_t addr) const {
+  auto it = std::upper_bound(entries_.begin(), entries_.end(), addr,
+                             [](uint32_t a, const Entry& e) {
+                               return a < e.addr;
+                             });
+  if (it == entries_.begin()) {
+    return hex32(addr);
+  }
+  const Entry& e = *std::prev(it);
+  if (e.addr == addr) {
+    return e.name;
+  }
+  return e.name + "+0x" + [](uint32_t off) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", off);
+    return std::string(buf);
+  }(addr - e.addr);
 }
 
 std::vector<uint8_t> Object::read(uint32_t addr, uint32_t size) const {

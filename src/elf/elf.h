@@ -78,6 +78,35 @@ struct Object {
   [[nodiscard]] std::vector<uint8_t> read(uint32_t addr, uint32_t size) const;
 };
 
+/// Sorted code-symbol index for address-to-name attribution: the
+/// observability layer (src/obs) and symbolized stats dumps resolve a
+/// PC to the enclosing function through it. Built from the symbols of
+/// executable sections only (every assembler text label is one), so
+/// data labels never shadow code.
+class SymbolIndex {
+ public:
+  SymbolIndex() = default;
+  explicit SymbolIndex(const Object& object);
+
+  /// Name of the function containing `addr` (the greatest code symbol
+  /// at or below it), or empty when the index has no symbol there.
+  [[nodiscard]] std::string_view nameFor(uint32_t addr) const;
+
+  /// "name+0x12" when attributable, "0x...." otherwise — for human-
+  /// readable dumps.
+  [[nodiscard]] std::string describe(uint32_t addr) const;
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint32_t addr = 0;
+    std::string name;
+  };
+  std::vector<Entry> entries_;  ///< sorted by (addr, name)
+};
+
 /// Serialises an object to ELF32 bytes.
 std::vector<uint8_t> write(const Object& object);
 

@@ -17,7 +17,8 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
       bus_(bus),
       graph_(core::BlockGraph::build(object, config.extra_leaders)),
       timer_(desc_.pipeline),
-      icache_(desc_.icache) {
+      icache_(desc_.icache),
+      symbols_(object) {
   const std::vector<Instr>& instrs = graph_.instrs();
   for (size_t i = 0; i < instrs.size(); ++i) {
     by_addr_.emplace(instrs[i].addr, i);
@@ -189,6 +190,11 @@ void Iss::maybeTakeIrq() {
     committed_cycles_ += config_.irq_entry_cycles;
     stats_.irq_entry_cycles += config_.irq_entry_cycles;
   }
+  if (trace_sink_ != nullptr) {
+    // Sequential path only: private slices returned above, so this
+    // never runs on a worker thread.
+    trace_sink_->instant(trace_lane_, "irq", localTime(), "vector", *vector);
+  }
 }
 
 bool Iss::checkDebugBreak() {
@@ -275,6 +281,7 @@ StopReason Iss::step() {
     if (in_block_) {
       finishBlock();
     }
+    observeBoundary();
     maybeTakeIrq();
   }
   if (checkDebugBreak()) {
@@ -519,6 +526,7 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
     // sequence the outer loop performs between two chained blocks —
     // lazy commit, quantum yield, interrupt sample, then the guard.
     finishBlock();
+    observeBoundary();
     if (localTime() >= time_limit) {
       return kDispatchYield;  // resumable: pc_ rests on the next leader
     }
@@ -531,6 +539,10 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
       // actual successor may still chain. This boundary's epoch has
       // already run — the outer loop must not repeat it.
       ++stats_.guard_bails;
+      if (trace_sink_ != nullptr) {
+        trace_sink_->instant(trace_lane_, "guard_bail", localTime(), "addr",
+                             block.addr);
+      }
       *epoch_done = true;
       return resolveNext(block);
     }
@@ -579,6 +591,7 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
       if (in_block_) {
         finishBlock();
       }
+      observeBoundary();
       if (localTime() >= time_limit) {
         return StopReason::kCycleLimit;  // resumable: stop_ stays running
       }
@@ -630,6 +643,11 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
           block->exec_count >= block->trace_retry_at) {
         block->trace = cache.formTrace(
             static_cast<int32_t>(block - blocks.data()), trace_opts);
+        if (trace_sink_ != nullptr && block->trace >= 0) {
+          // Sequential path only: private slices run with traces off.
+          trace_sink_->instant(trace_lane_, "trace_form", localTime(),
+                               "addr", block->addr);
+        }
         if (block->trace == core::kTraceDeclined) {
           // A refusal can be transient (breakpointed successor, not yet
           // skewed branch statistics): re-attempt with geometric
@@ -784,6 +802,7 @@ StopReason Iss::runLoopLookup(uint64_t time_limit) {
       finishBlock();
     }
     if (boundary) {
+      observeBoundary();
       if (localTime() >= time_limit) {
         return StopReason::kCycleLimit;  // resumable: stop_ stays running
       }
@@ -1068,9 +1087,49 @@ std::vector<HotBlock> Iss::hotBlocks(size_t n) const {
   }
   for (const core::ExecBlock* b : cache_->hottest(n)) {
     out.push_back({b->addr, static_cast<uint32_t>(b->instrs.size()),
-                   b->exec_count, b->chain_entries, b->trace_execs});
+                   b->exec_count, b->chain_entries, b->trace_execs,
+                   symbols_.describe(b->addr)});
   }
   return out;
+}
+
+void Iss::publishMetrics(obs::MetricsRegistry& reg,
+                         const std::string& prefix) const {
+  auto set = [&](const char* leaf, uint64_t v) {
+    reg.setCounter(prefix + leaf, v);
+  };
+  set("instructions", stats_.instructions);
+  set("cycles", stats_.cycles);
+  set("pipeline_cycles", stats_.pipeline_cycles);
+  set("branch_extra", stats_.branch_extra);
+  set("cache_penalty", stats_.cache_penalty);
+  set("blocks", stats_.blocks);
+  set("icache_accesses", stats_.icache_accesses);
+  set("icache_misses", stats_.icache_misses);
+  set("cond_branches", stats_.cond_branches);
+  set("cond_taken", stats_.cond_taken);
+  set("mispredicts", stats_.mispredicts);
+  set("io_reads", stats_.io_reads);
+  set("io_writes", stats_.io_writes);
+  set("irqs_taken", stats_.irqs_taken);
+  set("irq_entry_cycles", stats_.irq_entry_cycles);
+  set("cached_blocks", stats_.cached_blocks);
+  set("chain_hits", stats_.chain_hits);
+  set("trace_dispatches", stats_.trace_dispatches);
+  set("trace_blocks", stats_.trace_blocks);
+  set("guard_bails", stats_.guard_bails);
+  set("private_slices", stats_.private_slices);
+  set("private_bails", stats_.private_bails);
+  set("threaded_dispatches", stats_.threaded_dispatches);
+  set("threaded_instrs", stats_.threaded_instrs);
+  set("threaded_lowerings", stats_.threaded_lowerings);
+  set("threaded_declined", stats_.threaded_declined);
+  reg.setGauge(prefix + "local_time", static_cast<double>(localTime()));
+  if (cache_ != nullptr) {
+    for (const core::ExecBlock* b : cache_->hottest(SIZE_MAX)) {
+      reg.observe(prefix + "block_exec_counts", b->exec_count);
+    }
+  }
 }
 
 uint32_t Iss::loadMem(uint32_t addr, unsigned size, bool sign) {
@@ -1707,6 +1766,7 @@ int32_t Iss::dispatchThreadedTraceT(core::Trace& trace,
     // sequence dispatchTraceT performs between two segments — lazy
     // commit, quantum yield, interrupt sample, then the guard.
     finishBlock();
+    observeBoundary();
     if (localTime() >= time_limit) {
       return kDispatchYield;  // resumable: pc_ rests on the next leader
     }
@@ -1717,6 +1777,10 @@ int32_t Iss::dispatchThreadedTraceT(core::Trace& trace,
       // Guard failure: this boundary's epoch has already run — the
       // outer loop must not repeat it.
       ++stats_.guard_bails;
+      if (trace_sink_ != nullptr) {
+        trace_sink_->instant(trace_lane_, "guard_bail", localTime(), "addr",
+                             block.addr);
+      }
       *epoch_done = true;
       return resolveNext(block);
     }

@@ -51,6 +51,9 @@
 #include "core/block_cache.h"
 #include "core/block_graph.h"
 #include "elf/elf.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "soc/bus.h"
 #include "soc/interrupts.h"
 #include "trc/isa.h"
@@ -197,6 +200,10 @@ struct HotBlock {
   uint64_t exec_count = 0;
   uint64_t chain_entries = 0;
   uint64_t trace_execs = 0;
+  /// Enclosing function ("wait", "mac+0x8", ...) resolved through the
+  /// image's symbol table; "0x...." when the image carries no symbol
+  /// covering the address.
+  std::string symbol;
 };
 
 /// The threaded-code handler set (defined in iss.cpp), specialized per
@@ -266,6 +273,34 @@ class Iss {
   /// boundary (after the bus has been advanced to localTime()). On
   /// delivery: A14 = return PC, PC = vector, irq_entry_cycles charged.
   void attachIrq(soc::IrqSource* irq) { irq_ = irq; }
+
+  // -- observability hooks (src/obs, DESIGN.md section 11) --------------
+  //
+  // Observers are strictly read-only: enabling any of them cannot
+  // change architectural state, IssStats, snap::digest, or bus traffic
+  // — they record what happened, they never feed back. Disabled cost is
+  // one null test per block boundary. Threading: under the parallel
+  // kernel a core (and with it its sampler) runs on exactly one thread
+  // at a time; the trace sink is only written from sequential-path code
+  // — trace formation, guard bails and IRQ delivery cannot occur inside
+  // a private slice (traces/threaded are off there and the interrupt
+  // sample is skipped under the quiescence certificate).
+
+  /// Routes this core's timeline events (IRQ delivery instants, trace
+  /// formation, guard bails) to `sink` on lane `lane` (obs::coreLane).
+  void setTraceSink(obs::TraceSink* sink, uint32_t lane) {
+    trace_sink_ = sink;
+    trace_lane_ = lane;
+  }
+  /// Attaches a guest PC sampler, polled at basic-block boundaries.
+  void setSampler(obs::PcSampler* sampler) { sampler_ = sampler; }
+  /// Publishes every IssStats counter (plus a hot-block dispatch-count
+  /// histogram) under `prefix` ("board.core0.iss").
+  void publishMetrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
+  /// The image's code-symbol index (always built; empty for symbol-less
+  /// images). hotBlocks() and the profiler attribute through it.
+  [[nodiscard]] const elf::SymbolIndex& symbols() const { return symbols_; }
 
   /// Debugger-style breakpoints: run()/step() stop with kDebugBreak
   /// *before* executing the instruction at `addr` (pc() == addr). The
@@ -445,6 +480,15 @@ class Iss {
   void refreshBreakpointFlag(uint32_t addr);
   /// Samples the interrupt input at a block boundary; may redirect pc_.
   void maybeTakeIrq();
+  /// Block-boundary observability epoch: polls the PC sampler. Placed
+  /// beside the quantum-yield/interrupt checks in every engine; the
+  /// sampler's due-time ladder makes repeated calls at one local time
+  /// idempotent, so yields and private-slice bails cannot double-count.
+  void observeBoundary() {
+    if (sampler_ != nullptr) {
+      sampler_->sample(localTime(), pc_);
+    }
+  }
   /// Stops with kDebugBreak when pc_ sits on a breakpoint (once per
   /// arrival: a resume steps over it). Returns true when stopped.
   bool checkDebugBreak();
@@ -503,6 +547,13 @@ class Iss {
   bool bailed_shared_ = false;
   uint64_t deferred_advance_ = 0;
   uint64_t skipped_samples_ = 0;
+
+  // Observability (never serialized, never digested — see the hook
+  // comment above).
+  obs::TraceSink* trace_sink_ = nullptr;
+  uint32_t trace_lane_ = 0;
+  obs::PcSampler* sampler_ = nullptr;
+  elf::SymbolIndex symbols_;
 
   IssStats stats_;
 };

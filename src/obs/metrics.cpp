@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace cabt::obs {
+
+namespace {
+
+int bucketOf(uint64_t v) {
+  int b = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++b;
+  }
+  return b;  // 0 for v == 0, else floor(log2(v)) + 1
+}
+
+/// Doubles print with enough digits to round-trip typical gauge values
+/// without drowning the text dump in noise.
+std::string fmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::observe(uint64_t v) {
+  if (count == 0 || v < min) {
+    min = v;
+  }
+  if (count == 0 || v > max) {
+    max = v;
+  }
+  ++count;
+  sum += v;
+  ++buckets[bucketOf(v)];
+}
+
+uint64_t Histogram::bucketUpper(int i) {
+  if (i <= 0) {
+    return 0;
+  }
+  if (i >= 64) {
+    return ~static_cast<uint64_t>(0);
+  }
+  return (static_cast<uint64_t>(1) << i) - 1;
+}
+
+void MetricsRegistry::setCounter(std::string_view path, uint64_t value) {
+  Metric& m = metrics_[std::string(path)];
+  m.kind = Kind::kCounter;
+  m.counter = value;
+}
+
+void MetricsRegistry::setGauge(std::string_view path, double value) {
+  Metric& m = metrics_[std::string(path)];
+  m.kind = Kind::kGauge;
+  m.gauge = value;
+}
+
+void MetricsRegistry::observe(std::string_view path, uint64_t sample) {
+  Metric& m = metrics_[std::string(path)];
+  m.kind = Kind::kHistogram;
+  m.hist.observe(sample);
+}
+
+uint64_t MetricsRegistry::counterOr(std::string_view path,
+                                    uint64_t fallback) const {
+  const auto it = metrics_.find(path);
+  return it != metrics_.end() && it->second.kind == Kind::kCounter
+             ? it->second.counter
+             : fallback;
+}
+
+double MetricsRegistry::gaugeOr(std::string_view path,
+                                double fallback) const {
+  const auto it = metrics_.find(path);
+  return it != metrics_.end() && it->second.kind == Kind::kGauge
+             ? it->second.gauge
+             : fallback;
+}
+
+const Histogram* MetricsRegistry::histogram(std::string_view path) const {
+  const auto it = metrics_.find(path);
+  return it != metrics_.end() && it->second.kind == Kind::kHistogram
+             ? &it->second.hist
+             : nullptr;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string out = "{\n  \"metrics\": {\n";
+  size_t i = 0;
+  for (const auto& [path, m] : metrics_) {
+    out += "    \"" + path + "\": ";
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "{\"type\": \"counter\", \"value\": " +
+               std::to_string(m.counter) + "}";
+        break;
+      case Kind::kGauge:
+        out += "{\"type\": \"gauge\", \"value\": " + fmtDouble(m.gauge) + "}";
+        break;
+      case Kind::kHistogram: {
+        out += "{\"type\": \"histogram\", \"count\": " +
+               std::to_string(m.hist.count) +
+               ", \"sum\": " + std::to_string(m.hist.sum) +
+               ", \"min\": " + std::to_string(m.hist.min) +
+               ", \"max\": " + std::to_string(m.hist.max) +
+               ", \"buckets\": [";
+        bool first = true;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          if (m.hist.buckets[b] == 0) {
+            continue;  // sparse: empty buckets stay implicit
+          }
+          if (!first) {
+            out += ", ";
+          }
+          first = false;
+          out += "[" + std::to_string(Histogram::bucketUpper(b)) + ", " +
+                 std::to_string(m.hist.buckets[b]) + "]";
+        }
+        out += "]}";
+        break;
+      }
+    }
+    out += ++i < metrics_.size() ? ",\n" : "\n";
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::toText() const {
+  std::string out;
+  for (const auto& [path, m] : metrics_) {
+    out += path;
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += " " + std::to_string(m.counter) + "\n";
+        break;
+      case Kind::kGauge:
+        out += " " + fmtDouble(m.gauge) + "\n";
+        break;
+      case Kind::kHistogram:
+        out += " count=" + std::to_string(m.hist.count) +
+               " sum=" + std::to_string(m.hist.sum) +
+               " min=" + std::to_string(m.hist.min) +
+               " max=" + std::to_string(m.hist.max) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace cabt::obs

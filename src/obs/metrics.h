@@ -1,0 +1,82 @@
+// Hierarchical metrics registry: the pull-model half of the
+// observability layer (DESIGN.md section 11).
+//
+// Metrics carry path-style names ("board.core0.iss.icache_misses") and
+// come in three kinds: monotonically increasing counters, point-in-time
+// gauges, and log2-bucketed histograms. The registry is a *snapshot*
+// container, not a hot-path instrument: simulation components keep
+// their existing native counters (IssStats, the kernel's dispatch
+// tallies, the bus clock) and publish them into a registry on demand
+// via their publishMetrics() adapters — so an enabled registry costs
+// the simulation nothing at all, and a snapshot can be taken at any
+// cycle without perturbing architectural state. Observers never feed
+// back into the simulation (the determinism rule of section 11).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace cabt::obs {
+
+/// Log2-bucketed distribution: sample `v` lands in bucket floor(log2(v))
+/// + 1 (bucket 0 holds the zeros), with count/sum/min/max kept exactly.
+struct Histogram {
+  static constexpr int kBuckets = 65;  // zeros + one per bit of uint64_t
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t buckets[kBuckets] = {};
+
+  void observe(uint64_t v);
+  /// Inclusive upper bound of bucket `i` (2^i - 1; bucket 0 is {0}).
+  [[nodiscard]] static uint64_t bucketUpper(int i);
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  /// Sets counter `path` to the source's current cumulative value
+  /// (pull model: the source owns the live count, the registry records
+  /// the snapshot).
+  void setCounter(std::string_view path, uint64_t value);
+  /// Sets gauge `path` (a point-in-time level, e.g. queue depth).
+  void setGauge(std::string_view path, double value);
+  /// Adds one sample to histogram `path`.
+  void observe(std::string_view path, uint64_t sample);
+
+  [[nodiscard]] size_t size() const { return metrics_.size(); }
+  void clear() { metrics_.clear(); }
+
+  /// Lookup helpers (tests and gates). Missing or kind-mismatched paths
+  /// return the fallback.
+  [[nodiscard]] uint64_t counterOr(std::string_view path,
+                                   uint64_t fallback = 0) const;
+  [[nodiscard]] double gaugeOr(std::string_view path,
+                               double fallback = 0.0) const;
+  [[nodiscard]] const Histogram* histogram(std::string_view path) const;
+
+  /// JSON snapshot: {"metrics": {"<path>": {"type": ..., ...}, ...}}.
+  /// Paths are emitted in sorted order, so the output is deterministic.
+  [[nodiscard]] std::string toJson() const;
+  /// Human-readable one-line-per-metric text dump, sorted by path.
+  [[nodiscard]] std::string toText() const;
+
+ private:
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    uint64_t counter = 0;
+    double gauge = 0.0;
+    Histogram hist;
+  };
+
+  // std::map keeps the dump sorted (the "hierarchy" is the dotted
+  // paths; sorting groups every subtree contiguously for free).
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace cabt::obs

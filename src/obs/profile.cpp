@@ -1,0 +1,86 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/strutil.h"
+
+namespace cabt::obs {
+
+void PcSampler::record(uint64_t now, uint32_t pc) {
+  // Advance the due ladder past `now` in whole periods: a boundary that
+  // is observed twice at the same local time (yield + resume, bail +
+  // re-dispatch) cannot double-count, and a slice that overshoots
+  // several periods still charges exactly one sample per period to the
+  // block that was open when they elapsed.
+  uint64_t missed = 0;
+  do {
+    next_due_ += period_;
+    ++missed;
+  } while (next_due_ <= now);
+  counts_[pc] += missed;
+  total_ += missed;
+}
+
+std::vector<ProfileEntry> attributeSamples(const PcSampler& sampler,
+                                           const elf::SymbolIndex& symbols) {
+  std::map<std::string, ProfileEntry> by_name;
+  for (const auto& [pc, count] : sampler.counts()) {
+    std::string name(symbols.nameFor(pc));
+    if (name.empty()) {
+      name = hex32(pc);
+    }
+    ProfileEntry& e = by_name[name];
+    if (e.samples == 0 || pc < e.addr) {
+      e.addr = pc;
+    }
+    e.name = name;
+    e.samples += count;
+  }
+  std::vector<ProfileEntry> out;
+  out.reserve(by_name.size());
+  for (auto& [name, e] : by_name) {
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.samples != b.samples ? a.samples > b.samples
+                                            : a.name < b.name;
+            });
+  return out;
+}
+
+std::string foldedLines(const std::string& label,
+                        const std::vector<ProfileEntry>& entries) {
+  std::string out;
+  for (const ProfileEntry& e : entries) {
+    out += label + ";" + e.name + " " + std::to_string(e.samples) + "\n";
+  }
+  return out;
+}
+
+std::string topTable(const std::vector<ProfileEntry>& entries,
+                     size_t top_n) {
+  uint64_t total = 0;
+  for (const ProfileEntry& e : entries) {
+    total += e.samples;
+  }
+  std::string out = "  rank   samples   share  function\n";
+  const size_t n = std::min(top_n, entries.size());
+  for (size_t i = 0; i < n; ++i) {
+    const ProfileEntry& e = entries[i];
+    const double share =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(e.samples) /
+                         static_cast<double>(total);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %4zu  %8llu  %5.1f%%  %s\n", i + 1,
+                  static_cast<unsigned long long>(e.samples), share,
+                  e.name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace cabt::obs

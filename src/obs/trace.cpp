@@ -1,0 +1,50 @@
+#include "obs/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace cabt::obs {
+
+// Chrome trace-event format, JSON Object Format flavour: a
+// "traceEvents" array of {"name", "ph", "pid", "tid", "ts", ...}
+// records. All events share pid 1 (one simulated board per file);
+// lane names arrive as "M"/"thread_name" metadata records up front so
+// the viewer labels tracks before any event references them.
+void TraceSink::writeJson(std::ostream& out) const {
+  out << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  const auto sep = [&first, &out] {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+  };
+  for (const auto& [tid, name] : thread_names_) {
+    sep();
+    out << R"({"name": "thread_name", "ph": "M", "pid": 1, "tid": )" << tid
+        << R"(, "args": {"name": ")" << name << "\"}}";
+  }
+  for (const Event& e : events_) {
+    sep();
+    out << "{\"name\": \"" << e.name << "\", \"ph\": \"" << e.phase
+        << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": " << e.ts;
+    if (e.phase == 'X') {
+      out << ", \"dur\": " << e.dur;
+    } else if (e.phase == 'i') {
+      out << ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    if (e.arg_name != nullptr) {
+      out << ", \"args\": {\"" << e.arg_name << "\": " << e.arg << "}";
+    }
+    out << "}";
+  }
+  out << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+std::string TraceSink::toJson() const {
+  std::ostringstream out;
+  writeJson(out);
+  return out.str();
+}
+
+}  // namespace cabt::obs

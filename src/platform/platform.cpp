@@ -113,16 +113,36 @@ class ReferenceBoard::CoreProcess : public sim::Process {
   CoreProcess(iss::Iss* core, std::string name)
       : sim::Process(std::move(name)), core_(core) {}
 
+  /// Wire before run(): the sink pointer is read from worker threads
+  /// during prefixes, so it must not change while the kernel runs.
+  void setTraceSink(obs::TraceSink* sink, uint32_t lane) {
+    sink_ = sink;
+    lane_ = lane;
+  }
+
   void activate(sim::Kernel& kernel) override {
+    const uint64_t t0 = core_->localTime();
     iss::StopReason r;
     if (prefix_ran_) {
       prefix_ran_ = false;
+      if (sink_ != nullptr && !prefix_buf_.empty()) {
+        // Sequential slot: the merge rides the same happens-before edge
+        // (the pool's round barrier) that already publishes the
+        // prefix's architectural state.
+        sink_->setThreadName(prefix_lane_, prefix_lane_name_);
+        sink_->merge(prefix_buf_);
+      }
       r = prefix_result_;
       if (core_->commitPrivateSlice()) {
         r = core_->runUntil(slice_end_);  // finish the bailed remainder
       }
     } else {
       r = core_->runUntil(core_->localTime() + kernel.quantum());
+    }
+    if (sink_ != nullptr) {
+      // With a prefix, t0 is the prefix's end point: the worker lane
+      // shows the speculative part, this span the committed remainder.
+      sink_->complete(lane_, "slice", t0, core_->localTime() - t0);
     }
     if (r == iss::StopReason::kCycleLimit) {
       kernel.sync(this, core_->localTime());
@@ -137,9 +157,19 @@ class ReferenceBoard::CoreProcess : public sim::Process {
     // The same slice-end formula activate() uses, so the prefix and a
     // sequential activation run the identical slice.
     slice_end_ = core_->localTime() + quantum;
+    const uint64_t t0 = core_->localTime();
     core_->beginPrivateSlice();
     prefix_result_ = core_->runUntil(slice_end_);
     prefix_ran_ = true;
+    if (sink_ != nullptr) {
+      // Worker thread: everything below is process-private scratch; the
+      // shared sink is only touched at the sequential merge above.
+      const unsigned worker = sim::currentWorkerId();
+      prefix_lane_ = obs::workerLane(worker);
+      prefix_lane_name_ = "prefix runner " + std::to_string(worker);
+      prefix_buf_.complete(prefix_lane_, "prefix", t0,
+                           core_->localTime() - t0, "core", lane_);
+    }
   }
 
  private:
@@ -147,6 +177,11 @@ class ReferenceBoard::CoreProcess : public sim::Process {
   bool prefix_ran_ = false;
   iss::StopReason prefix_result_ = iss::StopReason::kRunning;
   uint64_t slice_end_ = 0;
+  obs::TraceSink* sink_ = nullptr;
+  uint32_t lane_ = 0;
+  obs::TraceSink::Buffer prefix_buf_;
+  uint32_t prefix_lane_ = 0;
+  std::string prefix_lane_name_;
 };
 
 ReferenceBoard::ReferenceBoard(const arch::ArchDescription& desc,
@@ -212,6 +247,42 @@ sim::Process* ReferenceBoard::process(size_t i) const {
   return procs_.at(i).get();
 }
 
+void ReferenceBoard::setTraceSink(obs::TraceSink* sink) {
+  trace_sink_ = sink;
+  kernel_.setTraceSink(sink);
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->setTraceSink(sink, obs::coreLane(i));
+    procs_[i]->setTraceSink(sink, obs::coreLane(i));
+  }
+  if (sink != nullptr) {
+    for (size_t i = 0; i < cores_.size(); ++i) {
+      sink->setThreadName(obs::coreLane(i), "core" + std::to_string(i));
+    }
+    sink->setThreadName(obs::kKernelLane, "kernel rounds");
+    sink->setThreadName(obs::kSnapLane, "snapshots");
+  }
+}
+
+void ReferenceBoard::attachSampler(size_t i, obs::PcSampler* sampler) {
+  cores_.at(i)->setSampler(sampler);
+}
+
+void ReferenceBoard::publishMetrics(obs::MetricsRegistry& reg,
+                                    const std::string& prefix) const {
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->publishMetrics(reg,
+                              prefix + "core" + std::to_string(i) + ".iss.");
+  }
+  kernel_.publishMetrics(reg, prefix + "kernel.");
+  board_->bus.publishMetrics(reg, prefix + "bus.");
+  reg.setCounter(prefix + "snap.checkpoints_retained", checkpoints_.size());
+  reg.setCounter(prefix + "snap.trail_length", digest_trail_.size());
+  if (!digest_trail_.empty()) {
+    reg.setGauge(prefix + "snap.last_checkpoint_cycle",
+                 static_cast<double>(digest_trail_.back().first));
+  }
+}
+
 void ReferenceBoard::setCheckpointing(const CheckpointConfig& config) {
   CABT_CHECK(config.interval == 0 || config.ring >= 1,
              "checkpoint ring must retain at least one snapshot");
@@ -230,6 +301,11 @@ void ReferenceBoard::takeCheckpoint(sim::Cycle cycle) {
     checkpoints_.pop_front();
   }
   digest_trail_.emplace_back(cycle, checkpoints_.back().digest);
+  if (trace_sink_ != nullptr) {
+    // Between run() chunks, so the sequential path the sink requires.
+    trace_sink_->instant(obs::kSnapLane, "checkpoint", cycle, "trail",
+                         digest_trail_.size());
+  }
 }
 
 sim::Cycle ReferenceBoard::runTo(sim::Cycle limit) {

@@ -19,6 +19,9 @@
 #include "arch/arch.h"
 #include "elf/elf.h"
 #include "iss/iss.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sim/kernel.h"
 #include "soc/interrupts.h"
 #include "soc/standard_board.h"
@@ -264,6 +267,25 @@ class ReferenceBoard {
   /// kernel queue serializes processes by this index).
   [[nodiscard]] sim::Process* process(size_t i) const;
 
+  // -- observability (src/obs, DESIGN.md section 11) --------------------
+
+  /// Wires a timeline sink through the whole board: per-core slice spans
+  /// and ISS instants (irq, trace_form, guard_bail) on lanes
+  /// [0, numCores), parallel-round spans on the kernel lane, checkpoint
+  /// instants on the snap lane, and private-prefix spans on the worker
+  /// lanes. Pass nullptr to detach. Observers never feed back: attaching
+  /// a sink leaves every architectural byte — and therefore snap::digest
+  /// — unchanged.
+  void setTraceSink(obs::TraceSink* sink);
+  /// Attaches a guest PC sampler to core `i` (samplers are per-core, so
+  /// the sample stream is race-free under the parallel kernel — see
+  /// obs/profile.h).
+  void attachSampler(size_t i, obs::PcSampler* sampler);
+  /// Publishes <prefix>coreN.iss.*, <prefix>kernel.*, <prefix>bus.* and
+  /// <prefix>snap.* into `reg`.
+  void publishMetrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "board.") const;
+
  private:
   class CoreProcess;
 
@@ -282,6 +304,7 @@ class ReferenceBoard {
   std::unique_ptr<soc::MailboxDevice> mailbox_;
   std::vector<std::unique_ptr<iss::Iss>> cores_;
   std::vector<std::unique_ptr<CoreProcess>> procs_;
+  obs::TraceSink* trace_sink_ = nullptr;  ///< never serialized
 };
 
 /// Remap-aware equality of an ISS value and a platform value: equal, or

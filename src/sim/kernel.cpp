@@ -7,6 +7,14 @@
 
 namespace cabt::sim {
 
+namespace {
+// 0 on any thread that never entered a pool worker loop (the dispatch
+// thread included); pool worker i runs with 1 + i.
+thread_local unsigned t_worker_id = 0;
+}  // namespace
+
+unsigned currentWorkerId() { return t_worker_id; }
+
 void ClockedProcess::activate(Kernel& kernel) {
   if (stopped_) {
     return;
@@ -40,7 +48,10 @@ class Kernel::Pool {
   explicit Pool(unsigned workers) {
     threads_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
-      threads_.emplace_back([this] { workerLoop(); });
+      threads_.emplace_back([this, i] {
+        t_worker_id = i + 1;  // 0 stays the dispatch thread's id
+        workerLoop();
+      });
     }
   }
 
@@ -286,11 +297,29 @@ Cycle Kernel::runParallelRounds(Cycle limit) {
            queue_.front().at <= limit) {
       dispatchOne();
     }
+    if (trace_sink_ != nullptr) {
+      // After the drain, on the dispatch thread: direct emission is the
+      // sequential path the sink's threading contract requires.
+      const Cycle span_end = round_end == kForever ? now_ : round_end;
+      trace_sink_->complete(obs::kKernelLane, "round", start,
+                            span_end > start ? span_end - start : 0,
+                            "prefixes", ready.size());
+    }
     if (round_end == kForever) {
       break;  // the window was unbounded: everything already drained
     }
   }
   return now_;
+}
+
+void Kernel::publishMetrics(obs::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.setCounter(prefix + "events_dispatched", dispatched_);
+  reg.setCounter(prefix + "parallel_rounds", rounds_);
+  reg.setCounter(prefix + "parallel_prefixes", prefixes_);
+  reg.setGauge(prefix + "now", static_cast<double>(now_));
+  reg.setGauge(prefix + "queue_depth", static_cast<double>(queue_.size()));
+  reg.setGauge(prefix + "quantum", static_cast<double>(quantum_));
 }
 
 }  // namespace cabt::sim

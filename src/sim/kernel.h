@@ -45,8 +45,16 @@
 
 #include "common/error.h"
 #include "common/serial.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cabt::sim {
+
+/// Identifies the prefix-runner thread the caller is on: 0 for the
+/// dispatching (sequential) thread, 1 + i for pool worker i. Worker-side
+/// observability code uses it to pick a trace lane
+/// (obs::workerLane(currentWorkerId())).
+[[nodiscard]] unsigned currentWorkerId();
 
 /// Kernel time, in cycles of the hosting platform's clock.
 using Cycle = uint64_t;
@@ -219,6 +227,20 @@ class Kernel {
   [[nodiscard]] uint64_t parallelRounds() const { return rounds_; }
   [[nodiscard]] uint64_t parallelPrefixes() const { return prefixes_; }
 
+  // -- observability (src/obs, DESIGN.md section 11) --------------------
+
+  /// Attaches a timeline sink; the kernel emits one "round" span on
+  /// obs::kKernelLane per parallel round (after its sequential drain, so
+  /// the emission itself is single-threaded). Pass nullptr to detach.
+  /// Observers never feed back: attaching a sink cannot change dispatch.
+  void setTraceSink(obs::TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Publishes the dispatch tallies under `prefix` (e.g. "board.kernel."):
+  /// events_dispatched, parallel_rounds, parallel_prefixes counters plus
+  /// now / queue_depth / quantum gauges.
+  void publishMetrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
+
   // -- snapshot support (src/snap, DESIGN.md section 9) -----------------
   //
   // The queue holds the process phases of the platform: one pending
@@ -277,6 +299,7 @@ class Kernel {
   std::unique_ptr<Pool> pool_;
   uint64_t rounds_ = 0;
   uint64_t prefixes_ = 0;
+  obs::TraceSink* trace_sink_ = nullptr;  ///< never serialized
 };
 
 }  // namespace cabt::sim

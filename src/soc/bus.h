@@ -21,6 +21,7 @@
 #include "common/error.h"
 #include "common/serial.h"
 #include "common/strutil.h"
+#include "obs/metrics.h"
 #include "soc/device.h"
 
 namespace cabt::soc {
@@ -95,6 +96,7 @@ class SocBus {
     const Window* w = findWindow(addr);
     CABT_CHECK(w != nullptr, "bus read from unmapped address " << hex32(addr));
     const uint32_t value = w->device->read(addr - w->base, size, soc_cycle_);
+    ++reads_;
     logTransaction({soc_cycle_, addr, value, static_cast<uint8_t>(size),
                     false});
     return value;
@@ -104,8 +106,22 @@ class SocBus {
     const Window* w = findWindow(addr);
     CABT_CHECK(w != nullptr, "bus write to unmapped address " << hex32(addr));
     w->device->write(addr - w->base, value, size, soc_cycle_);
+    ++writes_;
     logTransaction({soc_cycle_, addr, value, static_cast<uint8_t>(size),
                     true});
+  }
+
+  /// Publishes the transaction tallies under `prefix` (e.g. "board.bus.").
+  /// Reads/writes are lifetime counts, deliberately independent of the
+  /// log cap (the log is a tail, the counters are totals). Sequential
+  /// path only, like every other mutating or aggregate accessor here.
+  void publishMetrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const {
+    reg.setCounter(prefix + "reads", reads_);
+    reg.setCounter(prefix + "writes", writes_);
+    reg.setCounter(prefix + "dropped_transactions", dropped_transactions_);
+    reg.setCounter(prefix + "log_entries", log_.size());
+    reg.setGauge(prefix + "soc_cycle", static_cast<double>(soc_cycle_));
   }
 
   [[nodiscard]] const std::vector<Transaction>& log() const { return log_; }
@@ -230,6 +246,11 @@ class SocBus {
   size_t log_limit_ = 0;  ///< 0 = unbounded (full logging, the test default)
   uint64_t dropped_transactions_ = 0;
   uint64_t soc_cycle_ = 0;
+  /// Lifetime transaction tallies for publishMetrics. Observability
+  /// only: never serialized (snapshot round-trips must stay byte-stable
+  /// with pre-existing images) and never digested.
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
 };
 
 }  // namespace cabt::soc
