@@ -12,6 +12,10 @@
 //   state_tool resume <scenario> --in=FILE [--to=N] [--level=...]
 //   state_tool profile <scenario> [--period=N] [--top=N]
 //                      [--fold-out=FILE] [...common flags]
+//   state_tool inject <scenario> --fault=SPEC [--fault=SPEC ...]
+//                     [--interval=N] [--to=N] [...common flags]
+//   state_tool recover <scenario> --interval=N --fault=SPEC [...]
+//                      [--to=N] [...common flags]
 //
 // `--dispatch=lookup|chained|traces|threaded` selects the ISS dispatch
 // engine (default: the detail level's stock engine). With selfcheck it
@@ -33,17 +37,31 @@
 // Observers never perturb architectural state: digests with and without
 // any of these flags are identical (tests/obs_test.cpp).
 //
+// Fault injection & recovery (src/fi, DESIGN.md section 12):
+// `inject` arms a fi::Campaign built from repeatable --fault=SPEC
+// strings ("kind@cycle:key=value,..."), runs the scenario, and reports
+// every fired fault plus the final digest. `recover` performs a clean
+// reference run first, then replays with the faults, divergence
+// detection against the reference digest trail, and auto-recovery
+// through the snapshot ring — exiting 0 only when the recovered run
+// converges on the clean digest. `--fi-armed` (any board-running
+// command) arms a campaign of never-due faults, the non-perturbation
+// probe scripts/golden_state.py --check uses: output must be identical
+// to an FI-off run.
+//
 // Scenarios: irq_ticks (1 core), mc_pair (producer + consumer),
 // mc_worker (solo), mc_quad (pair + two workers). `digest` prints one
 // `trail <cycle> <digest>` line per checkpoint interval (when
 // --interval is given) and a final machine-parsable summary line.
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fi/fi.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -157,9 +175,11 @@ struct ObsOptions {
 
   [[nodiscard]] bool traceWanted() const { return !trace_out.empty(); }
 
-  /// After the run: export the timeline and/or the metrics registry.
+  /// After the run: export the timeline and/or the metrics registry
+  /// (plus the campaign's fi.* counters when one is armed).
   void finish(const platform::ReferenceBoard& board,
-              const obs::TraceSink& sink) const {
+              const obs::TraceSink& sink,
+              const fi::Campaign* camp = nullptr) const {
     if (traceWanted()) {
       std::ofstream out(trace_out);
       CABT_CHECK(out.good(), "cannot open '" << trace_out << "'");
@@ -171,6 +191,9 @@ struct ObsOptions {
     if (metrics_text || !metrics_out.empty()) {
       obs::MetricsRegistry reg;
       board.publishMetrics(reg);
+      if (camp != nullptr) {
+        camp->publishMetrics(reg);
+      }
       if (metrics_text) {
         std::fputs(reg.toText().c_str(), stdout);
       }
@@ -184,6 +207,59 @@ struct ObsOptions {
     }
   }
 };
+
+/// Builds the campaign for this invocation: every --fault=SPEC plus,
+/// with --fi-armed, one never-due fault per category (the armed-idle
+/// overhead/non-perturbation probe — nothing ever fires).
+fi::Campaign buildCampaign(const std::vector<std::string>& fault_specs,
+                           bool fi_armed, size_t num_cores) {
+  fi::Campaign camp;
+  for (const std::string& s : fault_specs) {
+    camp.add(fi::parseFaultSpec(s));
+  }
+  if (fi_armed) {
+    for (size_t c = 0; c < num_cores; ++c) {
+      fi::FaultSpec reg;
+      reg.kind = fi::FaultKind::kDataRegFlip;
+      reg.cycle = fi::CoreInjector::kNever;
+      reg.core = c;
+      reg.index = 15;
+      reg.mask = 1;
+      camp.add(reg);
+    }
+    fi::FaultSpec bus;  // window armed from cycle kNever: never active
+    bus.kind = fi::FaultKind::kBusError;
+    bus.cycle = fi::CoreInjector::kNever;
+    bus.addr = 0xf0000300u;
+    camp.add(bus);
+  }
+  return camp;
+}
+
+const char* coreFaultKindName(fi::CoreFaultKind kind) {
+  switch (kind) {
+    case fi::CoreFaultKind::kDataReg:
+      return "dreg";
+    case fi::CoreFaultKind::kAddrReg:
+      return "areg";
+    case fi::CoreFaultKind::kPc:
+      return "pc";
+    default:
+      return "mem";
+  }
+}
+
+void printFired(const fi::Campaign& camp, size_t num_cores) {
+  for (size_t core = 0; core < num_cores; ++core) {
+    for (const fi::FiredFault& f : camp.fired(core)) {
+      std::printf(
+          "fired core=%zu kind=%s at=%llu pc=0x%08x before=0x%08x "
+          "after=0x%08x\n",
+          core, coreFaultKindName(f.fault.kind),
+          static_cast<unsigned long long>(f.at), f.pc, f.before, f.after);
+    }
+  }
+}
 
 void printSummary(const platform::ReferenceBoard& board) {
   uint64_t instructions = 0;
@@ -215,6 +291,8 @@ int main(int argc, char** argv) {
     uint64_t period = 64;
     size_t top_n = 10;
     std::string fold_out;
+    std::vector<std::string> fault_specs;
+    bool fi_armed = false;
     ObsOptions obs_opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -247,6 +325,10 @@ int main(int argc, char** argv) {
         obs_opts.trace_out = arg.substr(12);
       } else if (arg.rfind("--metrics-out=", 0) == 0) {
         obs_opts.metrics_out = arg.substr(14);
+      } else if (arg.rfind("--fault=", 0) == 0) {
+        fault_specs.push_back(arg.substr(8));
+      } else if (arg == "--fi-armed") {
+        fi_armed = true;
       } else if (arg == "--metrics") {
         obs_opts.metrics_text = true;
       } else if (arg == "--parallel") {
@@ -265,12 +347,13 @@ int main(int argc, char** argv) {
     }
     if (command.empty() || scenario_name.empty()) {
       std::fprintf(stderr,
-                   "usage: %s digest|selfcheck|save|resume|profile "
-                   "<scenario> "
+                   "usage: %s digest|selfcheck|save|resume|profile|"
+                   "inject|recover <scenario> "
                    "[--level=functional|static|branch|cache] [--quantum=N] "
                    "[--interval=N] [--at=N] [--to=N] [--in=F] [--out=F] "
                    "[--parallel] [--cores=N] "
                    "[--dispatch=lookup|chained|traces|threaded] "
+                   "[--fault=SPEC]... [--fi-armed] "
                    "[--trace-out=F] [--metrics] [--metrics-out=F] "
                    "[--period=N] [--top=N] [--fold-out=F]\n",
                    argv[0]);
@@ -287,8 +370,13 @@ int main(int argc, char** argv) {
       if (obs_opts.traceWanted()) {
         board->setTraceSink(&sink);
       }
+      fi::Campaign camp =
+          buildCampaign(fault_specs, fi_armed, board->numCores());
+      if (camp.scheduled() != 0) {
+        camp.arm(*board);
+      }
       if (interval != 0) {
-        board->setCheckpointing({interval, 1});
+        board->setCheckpointing({interval, 1, ""});
       }
       board->run();
       for (const auto& [cycle, digest] : board->digestTrail()) {
@@ -297,8 +385,79 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(digest));
       }
       printSummary(*board);
-      obs_opts.finish(*board, sink);
+      obs_opts.finish(*board, sink,
+                      camp.scheduled() != 0 ? &camp : nullptr);
       return 0;
+    }
+
+    if (command == "inject") {
+      CABT_CHECK(!fault_specs.empty() || fi_armed,
+                 "inject needs at least one --fault=SPEC (or --fi-armed)");
+      std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      obs::TraceSink sink;
+      if (obs_opts.traceWanted()) {
+        board->setTraceSink(&sink);
+      }
+      fi::Campaign camp =
+          buildCampaign(fault_specs, fi_armed, board->numCores());
+      camp.arm(*board);
+      if (interval != 0) {
+        board->setCheckpointing({interval, 4, ""});
+      }
+      board->runTo(to);
+      printFired(camp, board->numCores());
+      std::printf("fi scheduled=%zu fired=%llu ring_corruptions=%llu\n",
+                  camp.scheduled(),
+                  static_cast<unsigned long long>(camp.firedCount()),
+                  static_cast<unsigned long long>(camp.ringCorruptions()));
+      if (obs_opts.traceWanted()) {
+        camp.emitTrace(sink);
+      }
+      printSummary(*board);
+      obs_opts.finish(*board, sink, &camp);
+      return 0;
+    }
+
+    if (command == "recover") {
+      CABT_CHECK(interval != 0,
+                 "recover needs --interval=N (a snapshot ring to fall "
+                 "back into)");
+      CABT_CHECK(!fault_specs.empty(),
+                 "recover needs at least one --fault=SPEC to recover from");
+      // Clean reference run: the convergence target and the expected
+      // digest trail for divergence detection.
+      std::unique_ptr<platform::ReferenceBoard> ref = scenario.makeBoard();
+      ref->setCheckpointing({interval, 4, ""});
+      ref->run();
+      const uint64_t want = snap::digest(*ref);
+      // Faulted run: same ring, trail-certified divergence detection,
+      // auto-recovery bounded by RecoveryConfig defaults.
+      std::unique_ptr<platform::ReferenceBoard> board = scenario.makeBoard();
+      obs::TraceSink sink;
+      if (obs_opts.traceWanted()) {
+        board->setTraceSink(&sink);
+      }
+      fi::Campaign camp =
+          buildCampaign(fault_specs, fi_armed, board->numCores());
+      camp.arm(*board);
+      board->setCheckpointing({interval, 4, ""});
+      board->setExpectedTrail(ref->digestTrail());
+      platform::RecoveryConfig rec;
+      rec.auto_recover = true;
+      board->setRecovery(rec);
+      board->runTo(to);
+      printFired(camp, board->numCores());
+      const uint64_t got = snap::digest(*board);
+      std::printf("recover %s: fired=%llu recoveries=%zu divergences=%zu "
+                  "clean=0x%016llx recovered=0x%016llx %s\n",
+                  scenario_name.c_str(),
+                  static_cast<unsigned long long>(camp.firedCount()),
+                  board->recoveries(), board->divergences(),
+                  static_cast<unsigned long long>(want),
+                  static_cast<unsigned long long>(got),
+                  want == got ? "OK" : "MISMATCH");
+      obs_opts.finish(*board, sink, &camp);
+      return want == got ? 0 : 1;
     }
 
     if (command == "profile") {
@@ -381,6 +540,14 @@ int main(int argc, char** argv) {
     throw Error("unknown command '" + command + "'");
   } catch (const cabt::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    // Anything the simulator did not classify (bad_alloc, filesystem
+    // errors, ...) still exits with a one-line diagnosis, never a core.
+    std::fprintf(stderr, "error: unhandled exception: %s\n", e.what());
+    return 2;
+  } catch (...) {
+    std::fprintf(stderr, "error: unhandled non-standard exception\n");
     return 2;
   }
 }

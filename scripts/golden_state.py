@@ -59,9 +59,11 @@ def find_tool(explicit):
     sys.exit(1)
 
 
-def run_one(tool, scenario, level, dispatch):
+def run_one(tool, scenario, level, dispatch, fi_armed=False):
     cmd = [tool, "digest", scenario, f"--level={level}",
            f"--quantum={QUANTUM}", f"--dispatch={dispatch}"]
+    if fi_armed:
+        cmd.append("--fi-armed")
     try:
         out = subprocess.run(cmd, capture_output=True, text=True,
                              check=True)
@@ -179,10 +181,33 @@ def main():
                 file=sys.stderr,
             )
             status = 1
+
+    # Non-perturbation probe (DESIGN.md section 12): an armed-but-idle
+    # fault campaign must leave every golden digest untouched.
+    armed_checked = 0
+    for scenario in SCENARIOS:
+        for level in LEVELS:
+            key = f"{scenario}/{level}"
+            if key not in got:
+                continue
+            armed = run_one(
+                tool, scenario, level, DISPATCH_MODES[0], fi_armed=True
+            )
+            armed_checked += 1
+            if armed != got[key]:
+                print(
+                    f"FI-ARMED PERTURBATION {key}: an idle campaign "
+                    f"changed the run\n  fi off   {got[key]}\n"
+                    f"  fi armed {armed}",
+                    file=sys.stderr,
+                )
+                status = 1
+
     if status == 0:
         print(f"golden-state check passed: {len(got)} scenario/level "
               f"digests match (each identical across "
-              f"{len(DISPATCH_MODES)} dispatch modes)")
+              f"{len(DISPATCH_MODES)} dispatch modes; {armed_checked} "
+              f"re-runs with an armed-idle fault campaign unchanged)")
     else:
         print(
             "golden-state check FAILED — if the behaviour change is "

@@ -40,11 +40,15 @@ void put32(std::vector<uint8_t>& out, uint32_t v) {
 }
 
 uint16_t get16(const std::vector<uint8_t>& b, size_t off) {
-  CABT_CHECK(off + 2 <= b.size(), "ELF read out of bounds");
+  CABT_CHECK(off + 2 <= b.size(), "ELF read out of bounds: 2 bytes at offset "
+                                      << off << " in a " << b.size()
+                                      << "-byte image");
   return static_cast<uint16_t>(b[off] | (b[off + 1] << 8));
 }
 uint32_t get32(const std::vector<uint8_t>& b, size_t off) {
-  CABT_CHECK(off + 4 <= b.size(), "ELF read out of bounds");
+  CABT_CHECK(off + 4 <= b.size(), "ELF read out of bounds: 4 bytes at offset "
+                                      << off << " in a " << b.size()
+                                      << "-byte image");
   return static_cast<uint32_t>(b[off]) | (static_cast<uint32_t>(b[off + 1]) << 8) |
          (static_cast<uint32_t>(b[off + 2]) << 16) |
          (static_cast<uint32_t>(b[off + 3]) << 24);
@@ -344,7 +348,17 @@ Object read(const std::vector<uint8_t>& bytes) {
   const uint16_t shnum = get16(bytes, 48);
   const uint16_t shstrndx = get16(bytes, 50);
   CABT_CHECK(shentsize == kShentSize, "unexpected section header size");
-  CABT_CHECK(shstrndx < shnum, "bad shstrndx");
+  CABT_CHECK(shstrndx < shnum, "bad shstrndx " << shstrndx << " (shnum "
+                                               << shnum << ")");
+  // The whole section-header table must fit; 64-bit arithmetic so a huge
+  // shoff in a truncated file cannot wrap past the size check.
+  CABT_CHECK(static_cast<uint64_t>(shoff) +
+                     static_cast<uint64_t>(shnum) * kShentSize <=
+                 bytes.size(),
+             "section header table (offset " << shoff << ", " << shnum
+                                             << " entries) extends past end "
+                                                "of the " << bytes.size()
+                                             << "-byte image");
 
   struct RawSection {
     uint32_t name_off, type, flags, addr, offset, size, link, info;
@@ -360,6 +374,10 @@ Object read(const std::vector<uint8_t>& bytes) {
 
   const RawSection& shstr = raw[shstrndx];
   CABT_CHECK(shstr.type == kShtStrtab, "shstrndx is not a string table");
+  CABT_CHECK(static_cast<uint64_t>(shstr.offset) + shstr.size <= bytes.size(),
+             "section name table (offset " << shstr.offset << ", size "
+                                           << shstr.size
+                                           << ") extends past end of file");
   std::vector<uint8_t> shstrtab(bytes.begin() + shstr.offset,
                                 bytes.begin() + shstr.offset + shstr.size);
 
@@ -401,8 +419,21 @@ Object read(const std::vector<uint8_t>& bytes) {
   }
 
   if (symtab != nullptr) {
+    CABT_CHECK(
+        static_cast<uint64_t>(symstr->offset) + symstr->size <= bytes.size(),
+        "symbol string table (offset " << symstr->offset << ", size "
+                                       << symstr->size
+                                       << ") extends past end of file");
     std::vector<uint8_t> strtab(bytes.begin() + symstr->offset,
                                 bytes.begin() + symstr->offset + symstr->size);
+    CABT_CHECK(symtab->size % kSymentSize == 0,
+               "symtab size " << symtab->size
+                              << " is not a multiple of the " << kSymentSize
+                              << "-byte entry size");
+    CABT_CHECK(
+        static_cast<uint64_t>(symtab->offset) + symtab->size <= bytes.size(),
+        "symtab (offset " << symtab->offset << ", size " << symtab->size
+                          << ") extends past end of file");
     const uint32_t count = symtab->size / kSymentSize;
     for (uint32_t i = 1; i < count; ++i) {
       const size_t off = symtab->offset + i * kSymentSize;
@@ -413,6 +444,10 @@ Object read(const std::vector<uint8_t>& bytes) {
       sym.binding = (info >> 4) == 0 ? SymbolBinding::kLocal
                                      : SymbolBinding::kGlobal;
       const uint16_t shndx = get16(bytes, off + 14);
+      CABT_CHECK(shndx == 0 || shndx == 0xfff1 || shndx < shnum,
+                 "symbol '" << sym.name << "' references section index "
+                            << shndx << " out of range (shnum " << shnum
+                            << ")");
       sym.section = shndx == 0xfff1 || shndx == 0
                         ? -1
                         : index_map[shndx];

@@ -1,0 +1,240 @@
+#include "fi/fi.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/strutil.h"
+#include "platform/platform.h"
+
+namespace cabt::fi {
+
+namespace {
+
+FaultKind parseKind(std::string_view s) {
+  if (s == "dreg") return FaultKind::kDataRegFlip;
+  if (s == "areg") return FaultKind::kAddrRegFlip;
+  if (s == "pc") return FaultKind::kPcFlip;
+  if (s == "pcset") return FaultKind::kPcSet;
+  if (s == "mem") return FaultKind::kMemFlip;
+  if (s == "buserr") return FaultKind::kBusError;
+  if (s == "stall") return FaultKind::kDeviceStall;
+  if (s == "ring") return FaultKind::kRingCorrupt;
+  CABT_FAIL("unknown fault kind '" << std::string(s)
+                                   << "' (dreg/areg/pc/pcset/mem/buserr/"
+                                      "stall/ring)");
+}
+
+uint64_t parseU64(std::string_view s) {
+  const int64_t v = parseInt(s);
+  CABT_CHECK(v >= 0, "fault field must be non-negative: " << std::string(s));
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+FaultSpec parseFaultSpec(const std::string& spec) {
+  const size_t at = spec.find('@');
+  CABT_CHECK(at != std::string::npos,
+             "fault spec '" << spec << "' has no '@cycle' (expected "
+                            << "kind@cycle:key=value,...)");
+  FaultSpec f;
+  f.kind = parseKind(trim(std::string_view(spec).substr(0, at)));
+  std::string_view rest = std::string_view(spec).substr(at + 1);
+  const size_t colon = rest.find(':');
+  f.cycle = parseU64(trim(rest.substr(0, colon)));
+  if (colon != std::string_view::npos) {
+    for (std::string_view kv : split(rest.substr(colon + 1), ',')) {
+      kv = trim(kv);
+      if (kv.empty()) {
+        continue;
+      }
+      const size_t eq = kv.find('=');
+      CABT_CHECK(eq != std::string_view::npos,
+                 "fault field '" << std::string(kv) << "' has no '='");
+      const std::string_view key = trim(kv.substr(0, eq));
+      const std::string_view val = trim(kv.substr(eq + 1));
+      if (key == "core") {
+        f.core = static_cast<size_t>(parseU64(val));
+      } else if (key == "index") {
+        f.index = static_cast<unsigned>(parseU64(val));
+      } else if (key == "addr") {
+        f.addr = static_cast<uint32_t>(parseU64(val));
+      } else if (key == "hi") {
+        f.addr_hi = static_cast<uint32_t>(parseU64(val));
+      } else if (key == "mask") {
+        f.mask = static_cast<uint32_t>(parseU64(val));
+      } else if (key == "until") {
+        f.until = parseU64(val);
+      } else if (key == "count") {
+        f.count = static_cast<uint32_t>(parseU64(val));
+      } else if (key == "device") {
+        f.device = std::string(val);
+      } else {
+        CABT_FAIL("unknown fault field '" << std::string(key) << "'");
+      }
+    }
+  }
+  return f;
+}
+
+void Campaign::arm(platform::ReferenceBoard& board) {
+  CABT_CHECK(board_ == nullptr, "campaign is already armed");
+  board_ = &board;
+  injectors_.clear();
+  for (size_t i = 0; i < board.numCores(); ++i) {
+    injectors_.push_back(std::make_unique<CoreInjector>());
+    board.attachInjector(i, injectors_.back().get());
+  }
+  bool hooked_ring = false;
+  for (const FaultSpec& spec : specs_) {
+    switch (spec.kind) {
+      case FaultKind::kDataRegFlip:
+      case FaultKind::kAddrRegFlip:
+      case FaultKind::kPcFlip:
+      case FaultKind::kPcSet:
+      case FaultKind::kMemFlip: {
+        CoreFault f;
+        f.cycle = spec.cycle;
+        f.index = static_cast<uint8_t>(spec.index);
+        f.addr = spec.addr;
+        f.mask = spec.mask;
+        switch (spec.kind) {
+          case FaultKind::kDataRegFlip:
+            f.kind = CoreFaultKind::kDataReg;
+            break;
+          case FaultKind::kAddrRegFlip:
+            f.kind = CoreFaultKind::kAddrReg;
+            break;
+          case FaultKind::kPcFlip:
+            f.kind = CoreFaultKind::kPc;
+            CABT_CHECK(spec.mask != 0, "pc flip needs a nonzero mask");
+            break;
+          case FaultKind::kPcSet:
+            f.kind = CoreFaultKind::kPc;
+            f.mask = 0;  // mask == 0 means "set pc = addr"
+            break;
+          default:
+            f.kind = CoreFaultKind::kMemWord;
+            break;
+        }
+        injectors_.at(spec.core)->schedule(f);
+        break;
+      }
+      case FaultKind::kBusError: {
+        soc::BusFaultWindow w;
+        w.lo = spec.addr;
+        w.hi = spec.addr_hi != 0 ? spec.addr_hi : spec.addr + 3;
+        w.from = spec.cycle;
+        w.until = spec.until;
+        w.max_fires = spec.count;
+        // The guest-visible consequence: the precise bus-error trap,
+        // raised on the faulted core's controller and delivered (like
+        // every interrupt) at its next block boundary. Sequential drain
+        // only, so recording the fire here is race-free.
+        soc::InterruptController* intc = &board.intc(spec.core);
+        const size_t core = spec.core;
+        w.on_error = [this, intc, core](const soc::Transaction& t) {
+          intc->raise(platform::kBusErrorIrqLine);
+          bus_fires_.push_back({core, {t.soc_cycle, t.addr}});
+        };
+        board.board().bus.armBusFault(std::move(w));
+        break;
+      }
+      case FaultKind::kDeviceStall:
+        CABT_CHECK(!spec.device.empty(), "stall fault needs device=<name>");
+        board.faultProxy(spec.device)->armStall(spec.cycle, spec.until);
+        break;
+      case FaultKind::kRingCorrupt:
+        hooked_ring = true;
+        break;
+    }
+  }
+  if (hooked_ring) {
+    board.setCheckpointHook([this](platform::Checkpoint& cp) {
+      for (const FaultSpec& spec : specs_) {
+        if (spec.kind != FaultKind::kRingCorrupt || cp.cycle < spec.cycle ||
+            cp.cycle >= spec.until) {
+          continue;
+        }
+        const uint8_t flip =
+            spec.mask != 0 ? static_cast<uint8_t>(spec.mask) : uint8_t{0x40};
+        if (!cp.path.empty()) {
+          // Spilled entry: flip the byte in the file.
+          std::fstream f(cp.path,
+                         std::ios::binary | std::ios::in | std::ios::out);
+          CABT_CHECK(f.good(), "cannot corrupt spilled checkpoint " << cp.path);
+          f.seekg(0, std::ios::end);
+          const auto size = static_cast<uint64_t>(f.tellg());
+          const uint64_t pos = spec.addr % size;
+          f.seekg(static_cast<std::streamoff>(pos));
+          char b = 0;
+          f.read(&b, 1);
+          b = static_cast<char>(static_cast<uint8_t>(b) ^ flip);
+          f.seekp(static_cast<std::streamoff>(pos));
+          f.write(&b, 1);
+        } else {
+          cp.data[spec.addr % cp.data.size()] ^= flip;
+        }
+        ++ring_corruptions_;
+      }
+    });
+  }
+}
+
+void Campaign::disarm() {
+  if (board_ == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < board_->numCores(); ++i) {
+    board_->attachInjector(i, nullptr);
+  }
+  board_->board().bus.clearBusFaults();
+  for (const FaultSpec& spec : specs_) {
+    if (spec.kind == FaultKind::kDeviceStall) {
+      board_->faultProxy(spec.device)->clearStall();
+    }
+  }
+  board_->setCheckpointHook(nullptr);
+  board_ = nullptr;
+}
+
+uint64_t Campaign::firedCount() const {
+  uint64_t n = 0;
+  for (const auto& inj : injectors_) {
+    n += inj->fired().size();
+  }
+  return n;
+}
+
+void Campaign::publishMetrics(obs::MetricsRegistry& reg,
+                              const std::string& prefix) const {
+  reg.setCounter(prefix + "faults_scheduled", specs_.size());
+  reg.setCounter(prefix + "core_faults_fired", firedCount());
+  reg.setCounter(prefix + "bus_error_fires", bus_fires_.size());
+  reg.setCounter(prefix + "ring_corruptions", ring_corruptions_);
+  if (board_ != nullptr) {
+    uint64_t stalled = 0;
+    for (const FaultSpec& spec : specs_) {
+      if (spec.kind == FaultKind::kDeviceStall) {
+        const fi::FaultProxy* p = board_->faultProxy(spec.device);
+        stalled += p->stalledReads() + p->stalledWrites();
+      }
+    }
+    reg.setCounter(prefix + "device_stall_hits", stalled);
+  }
+}
+
+void Campaign::emitTrace(obs::TraceSink& sink) const {
+  for (size_t core = 0; core < injectors_.size(); ++core) {
+    for (const FiredFault& f : injectors_[core]->fired()) {
+      sink.instant(obs::coreLane(core), "fault", f.at, "pc", f.pc);
+    }
+  }
+  for (const auto& [core, fire] : bus_fires_) {
+    sink.instant(obs::coreLane(core), "bus_error", fire.first, "addr",
+                 fire.second);
+  }
+}
+
+}  // namespace cabt::fi

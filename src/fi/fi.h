@@ -1,0 +1,105 @@
+// Deterministic fault-injection campaigns (DESIGN.md section 12).
+//
+// A Campaign is the user-facing layer of src/fi: a list of FaultSpecs —
+// parsed from `kind@cycle:key=value,...` strings or built directly — that
+// arm() translates onto a platform::ReferenceBoard:
+//
+//   * core faults (register/pc/memory-word flips) become fi::CoreFault
+//     entries in per-core injectors, applied by the ISS at basic-block
+//     boundaries through the due-time ladder — bit-identical across every
+//     dispatch engine, stepping, and the seq/par kernels;
+//   * bus errors become soc::BusFaultWindows whose on_error raises the
+//     precise bus-error line (platform::kBusErrorIrqLine) on the faulted
+//     core's interrupt controller, delivered — like every interrupt — at
+//     the next block boundary;
+//   * device stalls arm the fi::FaultProxy wrapping the named device;
+//   * ring corruptions hook takeCheckpoint and flip a byte in the freshly
+//     recorded snapshot ring entry (breaking its FNV footer), which is how
+//     the recovery tests manufacture corrupt-ring scenarios on demand.
+//
+// An armed campaign whose faults never fire perturbs nothing: digests and
+// bus logs are byte-identical to an FI-off run (tests/fi_test.cpp).
+// The campaign must outlive the run (the bus keeps a callback into it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fi/inject.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cabt::platform {
+class ReferenceBoard;
+}  // namespace cabt::platform
+
+namespace cabt::fi {
+
+enum class FaultKind : uint8_t {
+  kDataRegFlip,  // dreg:  d[index] ^= mask on core `core`
+  kAddrRegFlip,  // areg:  a[index] ^= mask
+  kPcFlip,       // pc:    pc ^= mask
+  kPcSet,        // pcset: pc = addr
+  kMemFlip,      // mem:   private-memory word at addr ^= mask
+  kBusError,     // buserr: bus window [addr, addr_hi] errors in [cycle,until)
+  kDeviceStall,  // stall: device `device` stalled in [cycle, until)
+  kRingCorrupt,  // ring:  corrupt ring entries checkpointed in [cycle, until)
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDataRegFlip;
+  uint64_t cycle = 0;
+  size_t core = 0;
+  unsigned index = 0;   // register number
+  uint32_t addr = 0;    // mem/pcset target, buserr window lo, ring byte
+  uint32_t addr_hi = 0; // buserr window hi (0 = addr + 3)
+  uint32_t mask = 0;
+  uint64_t until = ~static_cast<uint64_t>(0);  // buserr/stall/ring window end
+  uint32_t count = 1;   // buserr max fires (0 = unlimited)
+  std::string device;   // stall target name
+};
+
+/// Parses "kind@cycle:key=value,..."; kinds dreg/areg/pc/pcset/mem/buserr/
+/// stall/ring, keys core/index/addr/hi/mask/until/count/device. Throws
+/// cabt::Error on malformed input.
+FaultSpec parseFaultSpec(const std::string& spec);
+
+class Campaign {
+ public:
+  void add(const FaultSpec& spec) { specs_.push_back(spec); }
+  /// Arms every spec on `board`. Call once, before the run; the campaign
+  /// owns the per-core injectors and must outlive the board's run.
+  void arm(platform::ReferenceBoard& board);
+  /// Detaches everything armed (injectors, bus windows, stalls, hook).
+  void disarm();
+
+  [[nodiscard]] size_t scheduled() const { return specs_.size(); }
+  /// Core faults that have fired so far.
+  [[nodiscard]] uint64_t firedCount() const;
+  [[nodiscard]] const std::vector<FiredFault>& fired(size_t core) const {
+    return injectors_.at(core)->fired();
+  }
+  [[nodiscard]] uint64_t ringCorruptions() const { return ring_corruptions_; }
+
+  /// Publishes fi.* counters (scheduled/fired faults, bus-error fires,
+  /// device stalls, ring corruptions) under `prefix`.
+  void publishMetrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix = "fi.") const;
+  /// Emits one timeline instant per fired fault, post-run (injection
+  /// itself can happen on worker threads, where the sink is off-limits).
+  void emitTrace(obs::TraceSink& sink) const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+  std::vector<std::unique_ptr<CoreInjector>> injectors_;  // indexed by core
+  platform::ReferenceBoard* board_ = nullptr;
+  /// (core, soc_cycle, addr) of each bus-error fire, recorded by the
+  /// on_error callbacks (sequential drain only).
+  std::vector<std::pair<size_t, std::pair<uint64_t, uint32_t>>> bus_fires_;
+  uint64_t ring_corruptions_ = 0;
+};
+
+}  // namespace cabt::fi

@@ -28,6 +28,11 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
       mem_.writeBlock(s.addr, s.data.data(), s.data.size());
     }
     // NOBITS sections read as zero in SparseMemory already.
+    if (s.executable && s.sizeInMemory() > 0) {
+      // Code ranges, so memory-word fault injection can refuse to flip
+      // instruction bytes out from under the predecoded block graph.
+      exec_ranges_.emplace_back(s.addr, s.addr + s.sizeInMemory());
+    }
   }
   pc_ = object.entry;
 }
@@ -197,6 +202,60 @@ void Iss::maybeTakeIrq() {
   }
 }
 
+bool Iss::applyDueFaults() {
+  // Runs in private slices too: worker-thread prefixes are real committed
+  // execution, so core-private faults must land there as well. Everything
+  // below touches only core-private state (the kMemWord bus check is
+  // covers(), which private mode may call); no trace-sink writes — the
+  // campaign emits the timeline instants post-run from the fired log.
+  bool fired = false;
+  const uint64_t now = localTime();
+  while (const fi::CoreFault* f = injector_->take(now)) {
+    fi::FiredFault rec;
+    rec.fault = *f;
+    rec.at = now;
+    rec.pc = pc_;
+    switch (f->kind) {
+      case fi::CoreFaultKind::kDataReg:
+        rec.before = d_[f->index];
+        d_[f->index] ^= f->mask;
+        rec.after = d_[f->index];
+        break;
+      case fi::CoreFaultKind::kAddrReg:
+        rec.before = a_[f->index];
+        a_[f->index] ^= f->mask;
+        rec.after = a_[f->index];
+        break;
+      case fi::CoreFaultKind::kPc:
+        rec.before = pc_;
+        pc_ = f->mask != 0 ? pc_ ^ f->mask : f->addr;
+        rec.after = pc_;
+        break;
+      case fi::CoreFaultKind::kMemWord: {
+        CABT_CHECK(bus_ == nullptr || !bus_->covers(f->addr),
+                   "memory fault at " << hex32(f->addr)
+                                      << " targets a device window; use a "
+                                         "bus-error or stall fault instead");
+        for (const auto& [lo, hi] : exec_ranges_) {
+          CABT_CHECK(f->addr < lo || f->addr >= hi,
+                     "memory fault at " << hex32(f->addr)
+                                        << " would corrupt code (executable "
+                                           "range "
+                                        << hex32(lo) << ".." << hex32(hi)
+                                        << "); the block graph is immutable");
+        }
+        rec.before = mem_.read(f->addr, 4);
+        rec.after = rec.before ^ f->mask;
+        mem_.write(f->addr, rec.after, 4);
+        break;
+      }
+    }
+    injector_->recordFired(rec);
+    fired = true;
+  }
+  return fired;
+}
+
 bool Iss::checkDebugBreak() {
   if (skip_breakpoint_at_.has_value() && *skip_breakpoint_at_ == pc_) {
     // Resume over the breakpoint we stopped at: this call is immediately
@@ -282,6 +341,10 @@ StopReason Iss::step() {
       finishBlock();
     }
     observeBoundary();
+    // The stepping loop's quantum-yield check runs before step(), so this
+    // epoch is already known not to yield: fault injection lands here,
+    // matching the block engines' after-yield-check placement.
+    pollFaults();
     maybeTakeIrq();
   }
   if (checkDebugBreak()) {
@@ -530,6 +593,7 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
     if (localTime() >= time_limit) {
       return kDispatchYield;  // resumable: pc_ rests on the next leader
     }
+    pollFaults();  // a pc-redirecting fault fails the guard below
     if (irq_ != nullptr) {
       maybeTakeIrq();
     }
@@ -594,6 +658,10 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
       observeBoundary();
       if (localTime() >= time_limit) {
         return StopReason::kCycleLimit;  // resumable: stop_ stays running
+      }
+      if (pollFaults() && block != nullptr && pc_ != block->addr) {
+        block = nullptr;  // fault redirected pc_: the chained edge is stale
+        via_chain = false;
       }
       if (irq_ != nullptr) {
         maybeTakeIrq();  // may redirect pc_ to the vector (also a leader)
@@ -806,6 +874,7 @@ StopReason Iss::runLoopLookup(uint64_t time_limit) {
       if (localTime() >= time_limit) {
         return StopReason::kCycleLimit;  // resumable: stop_ stays running
       }
+      pollFaults();  // a pc redirect is caught by the lookup below
       maybeTakeIrq();  // may redirect pc_ to the vector (also a leader)
     }
     core::ExecBlock* block = in_block_ ? nullptr : blockCache().lookup(pc_);
@@ -1770,6 +1839,7 @@ int32_t Iss::dispatchThreadedTraceT(core::Trace& trace,
     if (localTime() >= time_limit) {
       return kDispatchYield;  // resumable: pc_ rests on the next leader
     }
+    pollFaults();  // a pc-redirecting fault fails the guard below
     if (irq_ != nullptr) {
       maybeTakeIrq();
     }

@@ -41,6 +41,7 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "arch/arch.h"
@@ -51,6 +52,7 @@
 #include "core/block_cache.h"
 #include "core/block_graph.h"
 #include "elf/elf.h"
+#include "fi/inject.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -274,6 +276,14 @@ class Iss {
   /// delivery: A14 = return PC, PC = vector, irq_entry_cycles charged.
   void attachIrq(soc::IrqSource* irq) { irq_ = irq; }
 
+  /// Connects a fault injector (src/fi, DESIGN.md section 12), polled at
+  /// basic-block boundaries through pollFaults() — the same due-time-
+  /// ladder discipline as the interrupt sample and the PC sampler, so a
+  /// scheduled fault lands at the identical boundary epoch across every
+  /// dispatch engine, stepping, and the seq/par kernels. The injector is
+  /// harness state: never serialized, never digested; nullptr detaches.
+  void setInjector(fi::CoreInjector* injector) { injector_ = injector; }
+
   // -- observability hooks (src/obs, DESIGN.md section 11) --------------
   //
   // Observers are strictly read-only: enabling any of them cannot
@@ -489,6 +499,26 @@ class Iss {
       sampler_->sample(localTime(), pc_);
     }
   }
+  /// Block-boundary fault-injection epoch. Runs at the *first boundary
+  /// epoch the engine does not yield at* with localTime() >= the fault's
+  /// cycle: in the block engines it sits after the quantum-yield check
+  /// (a yielding boundary re-runs its epoch on resume), in step() it sits
+  /// between observeBoundary() and maybeTakeIrq() (the stepping loop's
+  /// yield check runs before step()). The ladder makes re-observation of
+  /// one epoch idempotent — consumed faults never re-apply. Returns true
+  /// when a fault fired (callers may need to re-resolve a chained block
+  /// if the fault redirected pc_). Safe inside private slices: core
+  /// faults touch only core-private state, and prefixes are real
+  /// committed execution, so skipping them there would diverge seq/par.
+  bool pollFaults() {
+    if (injector_ == nullptr || !injector_->due(localTime())) {
+      return false;
+    }
+    return applyDueFaults();
+  }
+  /// Applies every fault with cycle <= localTime(); the cold half of
+  /// pollFaults().
+  bool applyDueFaults();
   /// Stops with kDebugBreak when pc_ sits on a breakpoint (once per
   /// arrival: a resume steps over it). Returns true when stopped.
   bool checkDebugBreak();
@@ -547,6 +577,14 @@ class Iss {
   bool bailed_shared_ = false;
   uint64_t deferred_advance_ = 0;
   uint64_t skipped_samples_ = 0;
+
+  // Fault injection (never serialized, never digested — harness state,
+  // like the observability hooks below). `exec_ranges_` guards kMemWord
+  // faults away from code: the predecoded block graph is built from the
+  // image at construction and flipping instruction bytes would desync it
+  // from memory.
+  fi::CoreInjector* injector_ = nullptr;
+  std::vector<std::pair<uint32_t, uint32_t>> exec_ranges_;  ///< [lo, hi)
 
   // Observability (never serialized, never digested — see the hook
   // comment above).

@@ -1,6 +1,10 @@
 #include "platform/platform.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
 
 #include "common/strutil.h"
 #include "snap/snapshot.h"
@@ -212,12 +216,29 @@ void ReferenceBoard::init(const arch::ArchDescription& desc,
   board_ = std::make_unique<soc::StandardPeripherals>(io->base);
   ptimer_ = std::make_unique<soc::ProgrammableTimer>();
   mailbox_ = std::make_unique<soc::MailboxDevice>();
-  board_->bus.attach(ptimer_.get(),
+  // Board-level devices go onto the bus through fault proxies, like the
+  // StandardPeripherals ports. The proxies forward everything (name,
+  // registers, snapshot bytes); internal wiring — doorbells, IRQ routing,
+  // attachIrq — deliberately stays on the raw devices: a stall models a
+  // hung *bus interface*, not a dead device.
+  ptimer_port_ = std::make_unique<fi::FaultProxy>(ptimer_.get());
+  mailbox_port_ = std::make_unique<fi::FaultProxy>(mailbox_.get());
+  board_->bus.attach(ptimer_port_.get(),
                      io->base + soc::StandardIoMap::kPTimerOffset,
                      soc::StandardIoMap::kPTimerSize);
-  board_->bus.attach(mailbox_.get(),
+  board_->bus.attach(mailbox_port_.get(),
                      io->base + soc::StandardIoMap::kMailboxOffset,
                      soc::StandardIoMap::kMailboxSize);
+  if (config.watchdog) {
+    watchdog_ = std::make_unique<fi::WatchdogDevice>();
+    watchdog_port_ = std::make_unique<fi::FaultProxy>(watchdog_.get());
+    board_->bus.attach(watchdog_port_.get(),
+                       io->base + soc::StandardIoMap::kWatchdogOffset,
+                       soc::StandardIoMap::kWatchdogSize);
+    // The fire callback only flags; runTo() acts on the flag between
+    // chunks (it runs inside a bus advance, mid-kernel-run).
+    watchdog_->setOnFire([this](uint64_t) { watchdog_fire_pending_ = true; });
+  }
   for (size_t i = 0; i < images.size(); ++i) {
     auto intc = std::make_unique<soc::InterruptController>(
         "intc" + std::to_string(i));
@@ -226,14 +247,23 @@ void ReferenceBoard::init(const arch::ArchDescription& desc,
                            static_cast<uint32_t>(i) *
                                soc::StandardIoMap::kIntcStride,
                        soc::InterruptController::kWindowSize);
-    mailbox_->setDoorbell(i, [raw = intc.get()] { raw->raise(1); });
+    mailbox_->setDoorbell(i,
+                          [raw = intc.get()] { raw->raise(kMailboxIrqLine); });
     auto core =
         std::make_unique<iss::Iss>(desc, *images[i], &board_->bus, config.iss);
     core->attachIrq(intc.get());
     intcs_.push_back(std::move(intc));
     cores_.push_back(std::move(core));
   }
-  ptimer_->setIrqTarget(intcs_.front().get(), 0);
+  ptimer_->setIrqTarget(intcs_.front().get(), kPTimerIrqLine);
+  if (watchdog_ != nullptr) {
+    watchdog_->setIrqTarget(intcs_.front().get(), kWatchdogIrqLine);
+  }
+  proxies_ = {&board_->timer_port, &board_->chardev_port,
+              &board_->scratch_port, ptimer_port_.get(), mailbox_port_.get()};
+  if (watchdog_port_ != nullptr) {
+    proxies_.push_back(watchdog_port_.get());
+  }
   for (size_t i = 0; i < cores_.size(); ++i) {
     procs_.push_back(std::make_unique<CoreProcess>(
         cores_[i].get(), "core" + std::to_string(i)));
@@ -245,6 +275,30 @@ ReferenceBoard::~ReferenceBoard() = default;
 
 sim::Process* ReferenceBoard::process(size_t i) const {
   return procs_.at(i).get();
+}
+
+void ReferenceBoard::attachInjector(size_t i, fi::CoreInjector* injector) {
+  cores_.at(i)->setInjector(injector);
+}
+
+fi::FaultProxy* ReferenceBoard::faultProxy(const std::string& name) {
+  for (fi::FaultProxy* p : proxies_) {
+    if (p->name() == name) {
+      return p;
+    }
+  }
+  CABT_FAIL("no fault-proxied device named '" << name << "'");
+}
+
+fi::WatchdogDevice& ReferenceBoard::watchdog() {
+  CABT_CHECK(watchdog_ != nullptr,
+             "board built without a watchdog (BoardConfig::watchdog)");
+  return *watchdog_;
+}
+
+void ReferenceBoard::setExpectedTrail(
+    std::vector<std::pair<sim::Cycle, uint64_t>> trail) {
+  expected_trail_ = std::move(trail);
 }
 
 void ReferenceBoard::setTraceSink(obs::TraceSink* sink) {
@@ -281,6 +335,20 @@ void ReferenceBoard::publishMetrics(obs::MetricsRegistry& reg,
     reg.setGauge(prefix + "snap.last_checkpoint_cycle",
                  static_cast<double>(digest_trail_.back().first));
   }
+  reg.setCounter(prefix + "fi.recoveries", recoveries_);
+  reg.setCounter(prefix + "fi.divergences", divergences_);
+  reg.setCounter(prefix + "fi.bus_fault_fires", board_->bus.busFaultFires());
+  uint64_t stalled_reads = 0;
+  uint64_t stalled_writes = 0;
+  for (const fi::FaultProxy* p : proxies_) {
+    stalled_reads += p->stalledReads();
+    stalled_writes += p->stalledWrites();
+  }
+  reg.setCounter(prefix + "fi.device_stalled_reads", stalled_reads);
+  reg.setCounter(prefix + "fi.device_stalled_writes", stalled_writes);
+  if (watchdog_ != nullptr) {
+    reg.setCounter(prefix + "fi.watchdog_fired", watchdog_->fired());
+  }
 }
 
 void ReferenceBoard::setCheckpointing(const CheckpointConfig& config) {
@@ -291,21 +359,53 @@ void ReferenceBoard::setCheckpointing(const CheckpointConfig& config) {
   digest_trail_.clear();
 }
 
-void ReferenceBoard::takeCheckpoint(sim::Cycle cycle) {
+bool ReferenceBoard::takeCheckpoint(sim::Cycle cycle) {
+  const uint64_t digest = snap::digest(*this);
+  if (!expected_trail_.empty()) {
+    // Divergence detection: the entry a known-good run recorded at this
+    // cycle must match. A cycle with no trail entry at all (the run kept
+    // going past the certified horizon, e.g. a hung guest) counts as
+    // diverged too. A diverged snapshot is not retained — keeping it
+    // would hand recover() a poisoned fallback.
+    const auto it = std::lower_bound(
+        expected_trail_.begin(), expected_trail_.end(), cycle,
+        [](const auto& e, sim::Cycle c) { return e.first < c; });
+    if (it == expected_trail_.end() || it->first != cycle ||
+        it->second != digest) {
+      ++divergences_;
+      if (trace_sink_ != nullptr) {
+        trace_sink_->instant(obs::kSnapLane, "divergence", cycle, "trail",
+                             digest_trail_.size());
+      }
+      return true;
+    }
+  }
   Checkpoint cp;
   cp.cycle = cycle;
-  cp.digest = snap::digest(*this);
-  cp.data = snap::save(*this);
+  cp.digest = digest;
+  if (checkpoint_.dir.empty()) {
+    cp.data = snap::save(*this);
+  } else {
+    cp.path = checkpoint_.dir + "/cp_" + std::to_string(cycle) + ".snap";
+    snap::saveFile(*this, cp.path);
+  }
   checkpoints_.push_back(std::move(cp));
   while (checkpoints_.size() > checkpoint_.ring) {
+    if (!checkpoints_.front().path.empty()) {
+      std::remove(checkpoints_.front().path.c_str());
+    }
     checkpoints_.pop_front();
   }
   digest_trail_.emplace_back(cycle, checkpoints_.back().digest);
+  if (checkpoint_hook_) {
+    checkpoint_hook_(checkpoints_.back());
+  }
   if (trace_sink_ != nullptr) {
     // Between run() chunks, so the sequential path the sink requires.
     trace_sink_->instant(obs::kSnapLane, "checkpoint", cycle, "trail",
                          digest_trail_.size());
   }
+  return false;
 }
 
 sim::Cycle ReferenceBoard::runTo(sim::Cycle limit) {
@@ -327,14 +427,120 @@ sim::Cycle ReferenceBoard::runTo(sim::Cycle limit) {
     }
     const sim::Cycle chunk = std::min(next, limit);
     kernel_.run(chunk);
+    bool diverged = false;
     if (!kernel_.idle()) {
-      takeCheckpoint(chunk);
+      diverged = takeCheckpoint(chunk);
+    }
+    if ((diverged || watchdog_fire_pending_) && recovery_.auto_recover &&
+        recoveries_ < recovery_.max_recoveries) {
+      // Graceful degradation between chunks: rewind to the newest intact
+      // ring entry and replay. A consumed one-shot fault does not
+      // re-fire, so the replayed timeline converges on the clean run; a
+      // deterministic hang recovers identically every time, which is why
+      // max_recoveries bounds the loop (beyond it the board runs on
+      // degraded).
+      const RecoveryReport rep = recover();
+      CABT_CHECK(rep.recovered,
+                 "auto-recovery exhausted the snapshot ring: " << rep.detail);
+      continue;  // resume from the restored (earlier) time
     }
     if (chunk >= limit) {
       break;
     }
   }
   return kernel_.now();
+}
+
+RecoveryReport ReferenceBoard::recover() {
+  RecoveryReport rep;
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    ++rep.entries_tried;
+    // Load the bytes: spilled entries get bounded I/O retries with
+    // doubling backoff; an unreadable file counts as corrupt and falls
+    // through to the next-older entry.
+    std::vector<uint8_t> data;
+    if (it->path.empty()) {
+      data = it->data;
+    } else {
+      bool read_ok = false;
+      unsigned backoff = recovery_.backoff_ms;
+      for (size_t attempt = 0; attempt < recovery_.io_attempts; ++attempt) {
+        if (attempt > 0) {
+          ++rep.io_retries;
+          if (backoff > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+            backoff *= 2;
+          }
+        }
+        std::ifstream in(it->path, std::ios::binary);
+        if (!in.good()) {
+          continue;
+        }
+        data.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+        if (in.good() || in.eof()) {
+          read_ok = true;
+          break;
+        }
+      }
+      if (!read_ok) {
+        ++rep.entries_corrupt;
+        rep.detail += "cp@" + std::to_string(it->cycle) + ": unreadable; ";
+        continue;
+      }
+    }
+    // snap::restore verifies the integrity footer before mutating any
+    // state, so a corrupt entry leaves the board exactly as it was.
+    try {
+      snap::restore(*this, data);
+    } catch (const Error& e) {
+      ++rep.entries_corrupt;
+      rep.detail += "cp@" + std::to_string(it->cycle) + ": " + e.what() + "; ";
+      continue;
+    }
+    const uint64_t digest = snap::digest(*this);
+    if (digest != it->digest) {
+      ++rep.entries_diverged;
+      rep.detail += "cp@" + std::to_string(it->cycle) + ": digest mismatch; ";
+      continue;
+    }
+    if (!expected_trail_.empty()) {
+      // When divergence detection is armed, only rewind to a point the
+      // known-good trail certifies: an entry checkpointed after the run
+      // left the certified timeline restores fine and reproduces its own
+      // recorded digest, but resuming there would replay the failure.
+      const auto t = std::lower_bound(
+          expected_trail_.begin(), expected_trail_.end(), it->cycle,
+          [](const auto& e, sim::Cycle c) { return e.first < c; });
+      if (t == expected_trail_.end() || t->first != it->cycle ||
+          t->second != digest) {
+        ++rep.entries_diverged;
+        rep.detail +=
+            "cp@" + std::to_string(it->cycle) + ": off the expected trail; ";
+        continue;
+      }
+    }
+    // Restored and verified: discard the invalidated newer timeline.
+    const sim::Cycle cycle = it->cycle;  // erase invalidates `it`
+    checkpoints_.erase(it.base(), checkpoints_.end());
+    while (!digest_trail_.empty() && digest_trail_.back().first > cycle) {
+      digest_trail_.pop_back();
+    }
+    watchdog_fire_pending_ = false;
+    ++recoveries_;
+    rep.recovered = true;
+    rep.resume_cycle = cycle;
+    rep.digest = digest;
+    if (trace_sink_ != nullptr) {
+      trace_sink_->instant(obs::kSnapLane, "recover", cycle, "tried",
+                           rep.entries_tried);
+    }
+    return rep;
+  }
+  if (rep.detail.empty()) {
+    rep.detail = "snapshot ring is empty";
+  }
+  return rep;
 }
 
 iss::StopReason ReferenceBoard::run() {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -18,6 +19,8 @@
 
 #include "arch/arch.h"
 #include "elf/elf.h"
+#include "fi/fault_proxy.h"
+#include "fi/watchdog.h"
 #include "iss/iss.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -169,6 +172,13 @@ iss::IssConfig issConfigFor(xlat::DetailLevel level, iss::IssConfig base = {});
 /// interrupt handler entries for IssConfig::extra_leaders.
 uint32_t symbolAddr(const elf::Object& object, std::string_view symbol);
 
+/// Interrupt lines of the reference board's per-core controllers
+/// (construction-time wiring; see ReferenceBoard below).
+inline constexpr unsigned kPTimerIrqLine = 0;    ///< core 0 only
+inline constexpr unsigned kMailboxIrqLine = 1;   ///< doorbell i -> core i
+inline constexpr unsigned kBusErrorIrqLine = 2;  ///< fi bus-error windows
+inline constexpr unsigned kWatchdogIrqLine = 3;  ///< core 0 only, opt-in
+
 struct BoardConfig {
   /// Base ISS configuration applied to every core (detail knobs,
   /// instruction limits, extra block leaders for interrupt handlers).
@@ -184,14 +194,22 @@ struct BoardConfig {
   /// run is bit-identical to `parallel.enabled = false` by construction
   /// (tests/parallel_test.cpp).
   sim::Kernel::ParallelConfig parallel;
+  /// Attach the watchdog peripheral (fi::WatchdogDevice) at
+  /// StandardIoMap::kWatchdogOffset, wired to core 0's controller on
+  /// kWatchdogIrqLine. Opt-in: attaching a device changes the snapshot
+  /// device set, so default boards (and their golden digests) are
+  /// untouched.
+  bool watchdog = false;
 };
 
 /// One periodic checkpoint: the full platform snapshot (snap::save) plus
-/// the cycle it was taken at and the rolling state digest there.
+/// the cycle it was taken at and the rolling state digest there. With a
+/// spill directory configured the bytes live in `path` instead of `data`.
 struct Checkpoint {
   sim::Cycle cycle = 0;
   uint64_t digest = 0;
   std::vector<uint8_t> data;
+  std::string path;  ///< non-empty = spilled to disk, data is empty
 };
 
 /// Periodic auto-snapshot during run()/runTo(). The board runs the
@@ -202,6 +220,42 @@ struct Checkpoint {
 struct CheckpointConfig {
   sim::Cycle interval = 0;
   size_t ring = 4;
+  /// Non-empty: spill ring entries to `<dir>/cp_<cycle>.snap` instead of
+  /// holding the bytes in memory (the directory must exist). recover()
+  /// then reads them back with bounded retries (RecoveryConfig).
+  std::string dir;
+};
+
+/// Graceful-degradation knobs for ReferenceBoard::recover() (DESIGN.md
+/// section 12).
+struct RecoveryConfig {
+  /// Let runTo() invoke recover() on its own when a chunk boundary sees
+  /// a digest-trail divergence or a fired watchdog (checkpointing must
+  /// be enabled — recovery needs a ring to fall back into).
+  bool auto_recover = false;
+  /// Total automatic recoveries runTo() may perform before it gives up
+  /// and keeps running degraded (a deterministic hang would otherwise
+  /// recover forever).
+  size_t max_recoveries = 4;
+  /// Attempts per spilled ring entry when the file read fails (I/O, not
+  /// corruption: corrupt bytes fail the snapshot footer and fall through
+  /// to the next-older entry instead of being retried).
+  size_t io_attempts = 3;
+  /// Doubling backoff between those attempts; 0 (the default, used by
+  /// tests) retries immediately.
+  unsigned backoff_ms = 0;
+};
+
+/// What recover() did, entry by entry.
+struct RecoveryReport {
+  bool recovered = false;
+  sim::Cycle resume_cycle = 0;  ///< cycle of the restored ring entry
+  uint64_t digest = 0;          ///< digest after the restore
+  size_t entries_tried = 0;
+  size_t entries_corrupt = 0;   ///< failed integrity/restore
+  size_t entries_diverged = 0;  ///< restored but digest-mismatched
+  size_t io_retries = 0;        ///< extra file-read attempts consumed
+  std::string detail;           ///< human-readable failure summary
 };
 
 /// The reference board, grown into a multi-core SoC: N ISS cores (one
@@ -246,6 +300,56 @@ class ReferenceBoard {
   digestTrail() const {
     return digest_trail_;
   }
+
+  // -- fault injection & recovery (src/fi, DESIGN.md section 12) --------
+
+  /// Connects a fault injector to core `i` (Iss::setInjector); the
+  /// injector must outlive the run. nullptr detaches.
+  void attachInjector(size_t i, fi::CoreInjector* injector);
+  /// The fault proxy wrapping the device named `name` ("timer",
+  /// "chardev", "scratch", "ptimer", "mailbox", "watchdog"); throws when
+  /// no such proxied device exists. Campaigns arm stall windows here.
+  [[nodiscard]] fi::FaultProxy* faultProxy(const std::string& name);
+  /// The watchdog peripheral; only on boards built with
+  /// BoardConfig::watchdog.
+  [[nodiscard]] fi::WatchdogDevice& watchdog();
+  [[nodiscard]] bool hasWatchdog() const { return watchdog_ != nullptr; }
+  /// True while a watchdog expiry awaits handling: runTo() either
+  /// auto-recovers on it (RecoveryConfig::auto_recover) or leaves it for
+  /// the caller; recover() clears it.
+  [[nodiscard]] bool watchdogFirePending() const {
+    return watchdog_fire_pending_;
+  }
+
+  /// Hook run after each ring entry is recorded (fault campaigns use it
+  /// to corrupt entries deterministically; tests use it to fuzz the
+  /// ring). Receives the freshly pushed entry.
+  void setCheckpointHook(std::function<void(Checkpoint&)> hook) {
+    checkpoint_hook_ = std::move(hook);
+  }
+  void setRecovery(const RecoveryConfig& config) { recovery_ = config; }
+  /// Arms digest-trail divergence detection: each checkpoint's digest is
+  /// compared against the entry with the same cycle in `trail` (from a
+  /// known-good run); a mismatch — or a checkpoint cycle the trail never
+  /// reached — marks the chunk diverged and the checkpoint is not
+  /// retained. recover() likewise only rewinds to trail-certified
+  /// entries while this is armed.
+  void setExpectedTrail(std::vector<std::pair<sim::Cycle, uint64_t>> trail);
+
+  /// Graceful degradation: walks the snapshot ring newest-to-oldest and
+  /// restores the first entry that loads (bounded I/O retries with
+  /// backoff for spilled entries), passes the integrity footer and
+  /// reproduces its recorded digest (and matches the expected trail when
+  /// armed). On success the board has rewound to that entry — newer ring
+  /// entries and trail suffixes are discarded, the watchdog flag is
+  /// cleared — and deterministic replay (runTo) resumes from there.
+  /// Returns a report either way; report.recovered == false means the
+  /// whole ring was exhausted.
+  RecoveryReport recover();
+  /// Completed recoveries (manual and automatic).
+  [[nodiscard]] size_t recoveries() const { return recoveries_; }
+  /// Chunks whose checkpoint digest contradicted the expected trail.
+  [[nodiscard]] size_t divergences() const { return divergences_; }
 
   [[nodiscard]] size_t numCores() const { return cores_.size(); }
   [[nodiscard]] iss::Iss& core(size_t i) { return *cores_.at(i); }
@@ -292,7 +396,9 @@ class ReferenceBoard {
   void init(const arch::ArchDescription& desc,
             const std::vector<const elf::Object*>& images,
             const BoardConfig& config);
-  void takeCheckpoint(sim::Cycle cycle);
+  /// Returns true when the checkpoint's digest contradicts the expected
+  /// trail (the diverged checkpoint is not retained).
+  bool takeCheckpoint(sim::Cycle cycle);
 
   sim::Kernel kernel_;
   CheckpointConfig checkpoint_;
@@ -305,6 +411,22 @@ class ReferenceBoard {
   std::vector<std::unique_ptr<iss::Iss>> cores_;
   std::vector<std::unique_ptr<CoreProcess>> procs_;
   obs::TraceSink* trace_sink_ = nullptr;  ///< never serialized
+
+  // Fault-injection & recovery harness state (never serialized, never
+  // digested). The board-level devices are attached to the bus through
+  // owned FaultProxy decorators; proxies_ indexes those plus the
+  // StandardPeripherals ports by device name for faultProxy().
+  std::unique_ptr<fi::WatchdogDevice> watchdog_;  ///< BoardConfig::watchdog
+  std::unique_ptr<fi::FaultProxy> ptimer_port_;
+  std::unique_ptr<fi::FaultProxy> mailbox_port_;
+  std::unique_ptr<fi::FaultProxy> watchdog_port_;
+  std::vector<fi::FaultProxy*> proxies_;
+  std::function<void(Checkpoint&)> checkpoint_hook_;
+  RecoveryConfig recovery_;
+  std::vector<std::pair<sim::Cycle, uint64_t>> expected_trail_;
+  bool watchdog_fire_pending_ = false;
+  size_t recoveries_ = 0;
+  size_t divergences_ = 0;
 };
 
 /// Remap-aware equality of an ISS value and a platform value: equal, or

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,27 @@ struct Transaction {
   uint32_t value = 0;
   uint8_t size = 4;
   bool is_write = false;
+};
+
+/// A bus-error injection window (fault injection, DESIGN.md section 12):
+/// accesses to [lo, hi] while `from <= soc_cycle < until` (and while fewer
+/// than `max_fires` accesses have matched, 0 = unlimited) error out instead
+/// of reaching a device. A faulted read returns `poison`, a faulted write is
+/// dropped; both are logged like normal transactions (the error response is
+/// an architectural observable) and invoke `on_error` — which is how the
+/// fi::Campaign raises the precise bus-error interrupt line. The window may
+/// cover unmapped space: a matching access then errors instead of tripping
+/// the unmapped-address check, modelling a bus error on a bad address.
+/// Windows themselves are harness state: never serialized, never digested.
+struct BusFaultWindow {
+  uint32_t lo = 0;
+  uint32_t hi = 0;  ///< inclusive
+  uint64_t from = 0;
+  uint64_t until = ~static_cast<uint64_t>(0);  ///< exclusive
+  uint32_t max_fires = 0;                      ///< 0 = unlimited
+  uint32_t poison = 0xdeadbeefu;
+  std::function<void(const Transaction&)> on_error;
+  uint64_t fires = 0;
 };
 
 class SocBus {
@@ -93,6 +115,19 @@ class SocBus {
   [[nodiscard]] uint64_t socCycle() const { return soc_cycle_; }
 
   uint32_t read(uint32_t addr, unsigned size) {
+    if (!bus_faults_.empty()) {
+      if (BusFaultWindow* f = matchFault(addr)) {
+        ++f->fires;
+        ++reads_;
+        const Transaction t{soc_cycle_, addr, f->poison,
+                            static_cast<uint8_t>(size), false};
+        logTransaction(t);
+        if (f->on_error) {
+          f->on_error(t);
+        }
+        return f->poison;
+      }
+    }
     const Window* w = findWindow(addr);
     CABT_CHECK(w != nullptr, "bus read from unmapped address " << hex32(addr));
     const uint32_t value = w->device->read(addr - w->base, size, soc_cycle_);
@@ -103,12 +138,50 @@ class SocBus {
   }
 
   void write(uint32_t addr, uint32_t value, unsigned size) {
+    if (!bus_faults_.empty()) {
+      if (BusFaultWindow* f = matchFault(addr)) {
+        ++f->fires;
+        ++writes_;
+        const Transaction t{soc_cycle_, addr, value,
+                            static_cast<uint8_t>(size), true};
+        logTransaction(t);  // the dropped write is still an observable
+        if (f->on_error) {
+          f->on_error(t);
+        }
+        return;
+      }
+    }
     const Window* w = findWindow(addr);
     CABT_CHECK(w != nullptr, "bus write to unmapped address " << hex32(addr));
     w->device->write(addr - w->base, value, size, soc_cycle_);
     ++writes_;
     logTransaction({soc_cycle_, addr, value, static_cast<uint8_t>(size),
                     true});
+  }
+
+  // -- bus-error injection (src/fi, DESIGN.md section 12) ----------------
+  //
+  // Arm/clear only between runs or from the sequential path; matchFault
+  // runs inside read/write, which the threading contract above already
+  // restricts to the sequential drain.
+
+  void armBusFault(BusFaultWindow w) {
+    CABT_CHECK(w.lo <= w.hi, "bus-fault window [" << hex32(w.lo) << ", "
+                                                  << hex32(w.hi)
+                                                  << "] is inverted");
+    bus_faults_.push_back(std::move(w));
+  }
+  void clearBusFaults() { bus_faults_.clear(); }
+  [[nodiscard]] const std::vector<BusFaultWindow>& busFaults() const {
+    return bus_faults_;
+  }
+  /// Total faulted accesses across all windows.
+  [[nodiscard]] uint64_t busFaultFires() const {
+    uint64_t n = 0;
+    for (const BusFaultWindow& f : bus_faults_) {
+      n += f.fires;
+    }
+    return n;
   }
 
   /// Publishes the transaction tallies under `prefix` (e.g. "board.bus.").
@@ -220,6 +293,16 @@ class SocBus {
     return nullptr;
   }
 
+  [[nodiscard]] BusFaultWindow* matchFault(uint32_t addr) {
+    for (BusFaultWindow& f : bus_faults_) {
+      if (addr >= f.lo && addr <= f.hi && soc_cycle_ >= f.from &&
+          soc_cycle_ < f.until && (f.max_fires == 0 || f.fires < f.max_fires)) {
+        return &f;
+      }
+    }
+    return nullptr;
+  }
+
   void logTransaction(Transaction t) {
     log_.push_back(t);
     if (log_limit_ != 0 && log_.size() >= 2 * log_limit_) {
@@ -251,6 +334,11 @@ class SocBus {
   /// with pre-existing images) and never digested.
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  /// Fault-injection harness state, likewise never serialized/digested.
+  /// An armed-but-never-matching window leaves every architectural byte
+  /// (log, device state, counters) untouched — the non-perturbation
+  /// invariant tests/fi_test.cpp pins.
+  std::vector<BusFaultWindow> bus_faults_;
 };
 
 }  // namespace cabt::soc

@@ -118,5 +118,127 @@ TEST(Elf, NobitsSectionWithDataIsRejected) {
   EXPECT_THROW(write(obj), Error);
 }
 
+// ---- malformed-image hardening ----------------------------------------
+// Images loaded from disk are untrusted input: every out-of-range
+// header field must produce a cabt::Error with a useful message, never
+// an out-of-bounds read.
+
+uint16_t peek16(const std::vector<uint8_t>& b, size_t off) {
+  return static_cast<uint16_t>(b.at(off) | (b.at(off + 1) << 8));
+}
+uint32_t peek32(const std::vector<uint8_t>& b, size_t off) {
+  return b.at(off) | (b.at(off + 1) << 8) | (b.at(off + 2) << 16) |
+         (static_cast<uint32_t>(b.at(off + 3)) << 24);
+}
+void poke16(std::vector<uint8_t>& b, size_t off, uint16_t v) {
+  b.at(off) = static_cast<uint8_t>(v);
+  b.at(off + 1) = static_cast<uint8_t>(v >> 8);
+}
+void poke32(std::vector<uint8_t>& b, size_t off, uint32_t v) {
+  for (size_t i = 0; i < 4; ++i) {
+    b.at(off + i) = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+constexpr size_t kShoffField = 32;    // e_shoff
+constexpr size_t kShnumField = 48;    // e_shnum
+constexpr size_t kShstrndxField = 50; // e_shstrndx
+constexpr size_t kShentBytes = 40;    // sizeof(Elf32_Shdr)
+
+/// The section header table entry for section `index`.
+size_t shdrAt(const std::vector<uint8_t>& img, size_t index) {
+  return peek32(img, kShoffField) + index * kShentBytes;
+}
+
+TEST(Elf, EveryTruncationIsRejected) {
+  const std::vector<uint8_t> img = write(sampleObject());
+  // The section header table sits at the end of the writer's layout, so
+  // every proper prefix is missing something a reader must notice.
+  for (size_t n = 0; n < img.size(); n += 7) {
+    SCOPED_TRACE("truncated to " + std::to_string(n) + " bytes");
+    const std::vector<uint8_t> cut(img.begin(),
+                                   img.begin() + static_cast<ptrdiff_t>(n));
+    EXPECT_THROW(read(cut), Error);
+  }
+}
+
+TEST(Elf, RejectsSectionTableOutOfBounds) {
+  {  // shoff past the end: the table does not fit
+    std::vector<uint8_t> img = write(sampleObject());
+    poke32(img, kShoffField, static_cast<uint32_t>(img.size()));
+    EXPECT_THROW(read(img), Error);
+  }
+  {  // huge shoff: must not wrap in 32-bit arithmetic
+    std::vector<uint8_t> img = write(sampleObject());
+    poke32(img, kShoffField, 0xffffffffu);
+    EXPECT_THROW(read(img), Error);
+  }
+  {  // inflated shnum: entries would run past the end
+    std::vector<uint8_t> img = write(sampleObject());
+    poke16(img, kShnumField, 0xffff);
+    EXPECT_THROW(read(img), Error);
+  }
+  {  // shstrndx out of range
+    std::vector<uint8_t> img = write(sampleObject());
+    poke16(img, kShstrndxField, peek16(img, kShnumField));
+    EXPECT_THROW(read(img), Error);
+  }
+}
+
+TEST(Elf, RejectsSectionContentsOutOfBounds) {
+  const std::vector<uint8_t> good = write(sampleObject());
+  const size_t shnum = peek16(good, kShnumField);
+  for (size_t i = 1; i < shnum; ++i) {
+    SCOPED_TRACE("section " + std::to_string(i) + " size inflated");
+    std::vector<uint8_t> img = good;
+    // sh_size lives at +20; oversize every section in turn — progbits
+    // payloads, both string tables and the symtab all have to be
+    // range-checked (nobits carries no file bytes and stays valid).
+    const size_t hdr = shdrAt(img, i);
+    const uint32_t type = peek32(img, hdr + 4);
+    poke32(img, hdr + 20, 0x10000000u);
+    if (type == 8) {  // SHT_NOBITS: size is memory size, not file bytes
+      EXPECT_NO_THROW(read(img));
+    } else {
+      EXPECT_THROW(read(img), Error);
+    }
+  }
+  {  // section name offset outside the string table
+    std::vector<uint8_t> img = good;
+    poke32(img, shdrAt(img, 1), 0x00ffffffu);  // sh_name
+    EXPECT_THROW(read(img), Error);
+  }
+}
+
+TEST(Elf, RejectsMalformedSymtab) {
+  const std::vector<uint8_t> good = write(sampleObject());
+  const size_t shnum = peek16(good, kShnumField);
+  size_t symtab_hdr = 0;
+  for (size_t i = 1; i < shnum; ++i) {
+    if (peek32(good, shdrAt(good, i) + 4) == 2) {  // SHT_SYMTAB
+      symtab_hdr = shdrAt(good, i);
+    }
+  }
+  ASSERT_NE(symtab_hdr, 0u);
+  const uint32_t sym_off = peek32(good, symtab_hdr + 16);
+  const uint32_t sym_size = peek32(good, symtab_hdr + 20);
+  {  // size not a multiple of the 16-byte entry size
+    std::vector<uint8_t> img = good;
+    poke32(img, symtab_hdr + 20, sym_size - 3);
+    EXPECT_THROW(read(img), Error);
+  }
+  {  // symbol name offset outside the symbol string table
+    std::vector<uint8_t> img = good;
+    poke32(img, sym_off + 16, 0x00ffffffu);  // first real symbol's st_name
+    EXPECT_THROW(read(img), Error);
+  }
+  {  // symbol references a section index past the table
+    std::vector<uint8_t> img = good;
+    poke16(img, sym_off + 16 + 14, 500);  // st_shndx
+    EXPECT_THROW(read(img), Error);
+  }
+  EXPECT_NO_THROW(read(good));
+}
+
 }  // namespace
 }  // namespace cabt::elf

@@ -19,10 +19,13 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/serial.h"
 #include "platform/platform.h"
 #include "snap/snapshot.h"
 #include "soc/bus.h"
@@ -321,7 +324,7 @@ TEST(Replay, AutoSnapshotRingRetainsAndReplays) {
   const BoardObs want = capture(*ref, grid);
 
   auto board = buildBoard(grid, rc);
-  board->setCheckpointing({512, 2});
+  board->setCheckpointing({512, 2, ""});
   board->run();
   // Checkpointed execution is behaviour-neutral.
   expectIdentical(capture(*board, grid), want);
@@ -419,6 +422,120 @@ TEST(SnapshotFormat, RejectsCorruptionTruncationAndMismatch) {
     ref->run();
     EXPECT_EQ(snap::digest(*target), snap::digest(*ref));
   }
+}
+
+/// Recomputes the FNV footer over everything before it, so a mutation
+/// survives the integrity check and has to be caught by the layer it
+/// actually corrupts (version gate, shape gate, reader bounds).
+void refootSnapshot(std::vector<uint8_t>& snap) {
+  ASSERT_GT(snap.size(), 8u);
+  const uint64_t sum = serial::fnv1a(snap.data(), snap.size() - 8);
+  for (size_t i = 0; i < 8; ++i) {
+    snap[snap.size() - 8 + i] = static_cast<uint8_t>(sum >> (8 * i));
+  }
+}
+
+// Every corruption class the recovery path can meet in a ring entry,
+// table-driven. Layout under attack: magic[8] | version u32 | cores u32
+// | kernel section | bus section | per-core sections | FNV footer u64.
+// Mutations that leave the footer stale are caught by the integrity
+// check; mutations that *recompute* the footer must be caught by the
+// specific gate they target — restore() must throw either way and the
+// target board must remain usable.
+TEST(SnapshotFormat, TableDrivenCorruptionIsAlwaysRejected) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  const RunConfig rc;
+  auto board = buildBoard(grid, rc);
+  board->runTo(kSaveAt);
+  const std::vector<uint8_t> good = snap::save(*board);
+  ASSERT_GT(good.size(), 64u);
+
+  using Mutate = std::function<void(std::vector<uint8_t>&)>;
+  const std::vector<std::pair<std::string, Mutate>> kCases = {
+      {"truncated mid-kernel-section",
+       [](std::vector<uint8_t>& s) { s.resize(24); }},
+      {"truncated mid-core-section",
+       [](std::vector<uint8_t>& s) { s.resize(s.size() * 3 / 4); }},
+      {"truncated mid-core-section, footer recomputed",  // reader bounds
+       [](std::vector<uint8_t>& s) {
+         s.resize(s.size() * 3 / 4);
+         refootSnapshot(s);
+       }},
+      {"flipped magic byte", [](std::vector<uint8_t>& s) { s[0] ^= 0x20; }},
+      {"flipped version byte", [](std::vector<uint8_t>& s) { s[8] ^= 0x01; }},
+      {"wrong version, footer recomputed",  // version gate
+       [](std::vector<uint8_t>& s) {
+         s[8] ^= 0x01;
+         refootSnapshot(s);
+       }},
+      {"wrong core count, footer recomputed",  // shape gate
+       [](std::vector<uint8_t>& s) {
+         s[12] ^= 0x01;
+         refootSnapshot(s);
+       }},
+      {"flipped kernel-section byte",
+       [](std::vector<uint8_t>& s) { s[20] ^= 0x40; }},
+      {"flipped bus-section byte",
+       [](std::vector<uint8_t>& s) { s[s.size() / 3] ^= 0x40; }},
+      {"flipped core-section byte",
+       [](std::vector<uint8_t>& s) { s[s.size() * 3 / 4] ^= 0x40; }},
+      {"zeroed footer",
+       [](std::vector<uint8_t>& s) {
+         std::fill(s.end() - 8, s.end(), uint8_t{0});
+       }},
+      {"flipped footer byte",
+       [](std::vector<uint8_t>& s) { s[s.size() - 3] ^= 0x04; }},
+  };
+
+  for (const auto& [name, mutate] : kCases) {
+    SCOPED_TRACE(name);
+    std::vector<uint8_t> bad = good;
+    mutate(bad);
+    auto target = buildBoard(grid, rc);
+    EXPECT_THROW(snap::restore(*target, bad), Error);
+    // A rejected restore may have partially consumed the image only
+    // when the footer was valid; either way the board must still
+    // accept the intact snapshot and replay to the clean end state.
+    snap::restore(*target, good);
+    target->run();
+    auto ref = buildBoard(grid, rc);
+    ref->run();
+    EXPECT_EQ(snap::digest(*target), snap::digest(*ref));
+  }
+}
+
+// Graceful degradation through the ring (DESIGN.md section 12): when
+// the newest ring entries are corrupted in place, recover() walks past
+// them to the newest intact one and deterministic replay from there
+// converges on the clean run.
+TEST(SnapshotFormat, RecoverFallsThroughCorruptRingEntries) {
+  const GridBoard grid = makeBoard({"irq_ticks"});
+  const RunConfig rc;
+  auto ref = buildBoard(grid, rc);
+  ref->run();
+  const BoardObs want = capture(*ref, grid);
+
+  auto board = buildBoard(grid, rc);
+  board->setCheckpointing({512, 4, ""});
+  // Corrupt every ring entry recorded after cycle 600 as it is pushed
+  // (same mechanism fi::Campaign ring faults use).
+  size_t corrupted = 0;
+  board->setCheckpointHook([&corrupted](platform::Checkpoint& cp) {
+    if (cp.cycle > 600) {
+      cp.data[cp.data.size() / 2] ^= 0x40;
+      ++corrupted;
+    }
+  });
+  board->run();
+  ASSERT_GE(board->checkpoints().size(), 2u);
+  ASSERT_GE(corrupted, 1u);
+
+  const platform::RecoveryReport rep = board->recover();
+  ASSERT_TRUE(rep.recovered) << rep.detail;
+  EXPECT_EQ(rep.entries_corrupt, corrupted);
+  EXPECT_LE(rep.resume_cycle, 600u);
+  board->run();
+  expectIdentical(capture(*board, grid), want);
 }
 
 }  // namespace
