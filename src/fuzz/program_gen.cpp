@@ -1,0 +1,143 @@
+#include "fuzz/program_gen.h"
+
+namespace cabt::fuzz {
+
+std::string describe(const GeneratorConfig& config) {
+  return "seed=" + std::to_string(config.seed) +
+         " shared_traffic=" + (config.shared_traffic ? "1" : "0");
+}
+
+std::string ProgramGenerator::generate() {
+  out_.str("");
+  callees_.str("");
+  out_ << "_start: movha a0, hi(buf)\n";
+  out_ << "        lea a0, a0, lo(buf)\n";
+  if (config_.shared_traffic) {
+    out_ << "        movha a5, 0xf000\n";  // I/O region base
+  }
+  // Seed a few data registers with random constants.
+  for (int i = 0; i < 6; ++i) {
+    out_ << "        movi d" << i << ", " << smallInt() << "\n";
+  }
+  const int sections = 2 + static_cast<int>(rng_() % 3);
+  for (int s = 0; s < sections; ++s) {
+    switch (rng_() % (config_.shared_traffic ? 5 : 4)) {
+      case 0:
+        emitStraightLine();
+        break;
+      case 1:
+        emitLoop(s);
+        break;
+      case 2:
+        emitMemoryTraffic(s);
+        break;
+      case 3:
+        emitCall(s);
+        break;
+      case 4:
+        emitSharedTraffic();
+        break;
+    }
+  }
+  if (config_.shared_traffic) {
+    emitSharedTraffic();  // at least one shared access per program
+  }
+  // Fold state into d9 so every path affects the final comparison.
+  out_ << "        add d9, d9, d0\n";
+  out_ << "        add d9, d9, d1\n";
+  out_ << "        halt\n";
+  // Callee bodies are appended after the halt.
+  out_ << callees_.str();
+  out_ << "        .bss\nbuf:    .space 256\n";
+  return out_.str();
+}
+
+void ProgramGenerator::emitStraightLine() {
+  static const char* ops[] = {"add", "sub", "and", "or",
+                              "xor", "mul", "shl", "sar"};
+  const int n = 3 + static_cast<int>(rng_() % 10);
+  for (int i = 0; i < n; ++i) {
+    if (rng_() % 4 == 0) {
+      // 16-bit forms exercise the mixed-width decoding and CABs.
+      static const char* ops16[] = {"mov16", "add16", "sub16"};
+      out_ << "        " << ops16[rng_() % 3] << " d" << reg() << ", d"
+           << reg() << "\n";
+    } else {
+      out_ << "        " << ops[rng_() % 8] << " d" << reg() << ", d"
+           << reg() << ", d" << reg() << "\n";
+    }
+  }
+}
+
+void ProgramGenerator::emitLoop(int id) {
+  const int count = 2 + static_cast<int>(rng_() % 20);
+  const int counter = 10 + static_cast<int>(rng_() % 3);  // d10..d12
+  out_ << "        movi d" << counter << ", " << count << "\n";
+  out_ << "l" << id << ":\n";
+  emitStraightLine();
+  out_ << "        addi16 d" << counter << ", -1\n";
+  // Alternate between the 16-bit and 32-bit conditional forms.
+  if (rng_() % 2 == 0) {
+    out_ << "        jnz16 d" << counter << ", l" << id << "\n";
+  } else {
+    out_ << "        movi d13, 0\n";
+    out_ << "        jne d" << counter << ", d13, l" << id << "\n";
+  }
+}
+
+void ProgramGenerator::emitMemoryTraffic(int id) {
+  (void)id;
+  const int n = 2 + static_cast<int>(rng_() % 5);
+  for (int i = 0; i < n; ++i) {
+    const int off = static_cast<int>(rng_() % 60) * 4;
+    if (rng_() % 2 == 0) {
+      out_ << "        stw d" << reg() << ", [a0]" << off << "\n";
+    } else {
+      out_ << "        ldw d" << reg() << ", [a0]" << off << "\n";
+    }
+    if (rng_() % 3 == 0) {
+      out_ << "        stb d" << reg() << ", [a0]" << (rng_() % 200)
+           << "\n";
+    }
+  }
+}
+
+void ProgramGenerator::emitCall(int id) {
+  out_ << "        jl f" << id << "\n";
+  callees_ << "f" << id << ":\n";
+  const int n = 1 + static_cast<int>(rng_() % 4);
+  for (int i = 0; i < n; ++i) {
+    callees_ << "        add d" << reg() << ", d" << reg() << ", d"
+             << reg() << "\n";
+  }
+  callees_ << "        ret16\n";
+}
+
+// Random chatter with the shared peripherals: scratch-register reads
+// and writes, mailbox pushes, pops and status polls (a pop of an empty
+// mailbox reads 0 — benign whatever the interleaving).
+void ProgramGenerator::emitSharedTraffic() {
+  const int n = 1 + static_cast<int>(rng_() % 3);
+  for (int i = 0; i < n; ++i) {
+    const int scratch = 0x300 + static_cast<int>(rng_() % 16) * 4;
+    switch (rng_() % 5) {
+      case 0:
+        out_ << "        stw d" << reg() << ", [a5]" << scratch << "\n";
+        break;
+      case 1:
+        out_ << "        ldw d" << reg() << ", [a5]" << scratch << "\n";
+        break;
+      case 2:
+        out_ << "        stw d" << reg() << ", [a5]" << 0x600 << "\n";
+        break;
+      case 3:
+        out_ << "        ldw d" << reg() << ", [a5]" << 0x600 << "\n";
+        break;
+      case 4:
+        out_ << "        ldw d" << reg() << ", [a5]" << 0x604 << "\n";
+        break;
+    }
+  }
+}
+
+}  // namespace cabt::fuzz

@@ -51,6 +51,7 @@
 #include "common/sparse_mem.h"
 #include "core/block_cache.h"
 #include "core/block_graph.h"
+#include "core/coverage.h"
 #include "elf/elf.h"
 #include "fi/inject.h"
 #include "obs/metrics.h"
@@ -304,6 +305,15 @@ class Iss {
   }
   /// Attaches a guest PC sampler, polled at basic-block boundaries.
   void setSampler(obs::PcSampler* sampler) { sampler_ = sampler; }
+  /// Attaches an edge-coverage map (core/coverage.h): every block-
+  /// boundary epoch folds the (previous boundary pc, current pc)
+  /// transfer into the map. Same observer contract as the sampler —
+  /// read-only, never serialized, never digested; nullptr detaches and
+  /// resets the edge chain.
+  void setEdgeCoverage(core::EdgeCoverage* cov) {
+    edge_cov_ = cov;
+    cov_have_last_ = false;
+  }
   /// Publishes every IssStats counter (plus a hot-block dispatch-count
   /// histogram) under `prefix` ("board.core0.iss").
   void publishMetrics(obs::MetricsRegistry& reg,
@@ -498,6 +508,26 @@ class Iss {
     if (sampler_ != nullptr) {
       sampler_->sample(localTime(), pc_);
     }
+    if (edge_cov_ != nullptr) {
+      recordCoverage();
+    }
+  }
+  /// The cold half of the coverage poll. localTime() strictly increases
+  /// across retired blocks, so re-observing one epoch (quantum-yield
+  /// resume, private-slice bail) sees an unchanged time and records
+  /// nothing — the same idempotency the sampler gets from its due-time
+  /// ladder.
+  void recordCoverage() {
+    const uint64_t now = localTime();
+    if (cov_have_last_ && now == cov_last_time_) {
+      return;
+    }
+    if (cov_have_last_) {
+      edge_cov_->recordEdge(cov_last_pc_, pc_);
+    }
+    cov_have_last_ = true;
+    cov_last_time_ = now;
+    cov_last_pc_ = pc_;
   }
   /// Block-boundary fault-injection epoch. Runs at the *first boundary
   /// epoch the engine does not yield at* with localTime() >= the fault's
@@ -591,6 +621,10 @@ class Iss {
   obs::TraceSink* trace_sink_ = nullptr;
   uint32_t trace_lane_ = 0;
   obs::PcSampler* sampler_ = nullptr;
+  core::EdgeCoverage* edge_cov_ = nullptr;
+  uint64_t cov_last_time_ = 0;
+  uint32_t cov_last_pc_ = 0;
+  bool cov_have_last_ = false;
   elf::SymbolIndex symbols_;
 
   IssStats stats_;

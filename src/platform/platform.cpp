@@ -321,6 +321,10 @@ void ReferenceBoard::attachSampler(size_t i, obs::PcSampler* sampler) {
   cores_.at(i)->setSampler(sampler);
 }
 
+void ReferenceBoard::attachEdgeCoverage(size_t i, core::EdgeCoverage* cov) {
+  cores_.at(i)->setEdgeCoverage(cov);
+}
+
 void ReferenceBoard::publishMetrics(obs::MetricsRegistry& reg,
                                     const std::string& prefix) const {
   for (size_t i = 0; i < cores_.size(); ++i) {

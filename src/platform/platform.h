@@ -385,6 +385,10 @@ class ReferenceBoard {
   /// the sample stream is race-free under the parallel kernel — see
   /// obs/profile.h).
   void attachSampler(size_t i, obs::PcSampler* sampler);
+  /// Attaches an edge-coverage map to core `i` (core/coverage.h; the
+  /// fuzzing farm's feedback signal). Per-core like the sampler, with
+  /// the identical observer guarantees; nullptr detaches.
+  void attachEdgeCoverage(size_t i, core::EdgeCoverage* cov);
   /// Publishes <prefix>coreN.iss.*, <prefix>kernel.*, <prefix>bus.* and
   /// <prefix>snap.* into `reg`.
   void publishMetrics(obs::MetricsRegistry& reg,

@@ -95,6 +95,13 @@ TranslationResult translate(const arch::ArchDescription& desc,
     blocks = splitPerInstruction(blocks);
   }
   computeStaticCycles(desc, blocks);
+  if (options.debug_skew_static_cycles) {
+    for (SourceBlock& b : blocks) {
+      if (b.instrs.size() >= 2) {
+        ++b.static_cycles;
+      }
+    }
+  }
   if (options.level >= DetailLevel::kICache) {
     CABT_CHECK(desc.icache.enabled,
                "icache detail level requires an enabled icache model");

@@ -64,6 +64,12 @@ struct TranslateOptions {
   /// Register holding the indirect-jump dispatch constant; the debugger's
   /// second image uses kAltDispatchReg so both images can coexist.
   uint8_t dispatch_reg = 0xff;  ///< 0xff = default (kDispatchReg)
+  /// Fault-injection drill for the fuzzing farm: add one bogus static
+  /// cycle to every block with at least two instructions. Skews only the
+  /// translated image's timing annotation — the ISS reference is
+  /// untouched — so the differential oracle must flag it. Never enable
+  /// outside tests.
+  bool debug_skew_static_cycles = false;
 };
 
 /// One cache analysis block (paper section 3.4.2): a maximal run of

@@ -1,0 +1,464 @@
+// The fuzzing farm's building blocks (src/fuzz, DESIGN.md section 13).
+//
+// Claims under test:
+//   1. EdgeCoverage is a well-behaved bitmap: deterministic edge
+//      hashing, merge/newBits algebra, clear.
+//   2. Coverage collection is non-perturbing: digests and bus logs are
+//      bit-identical with collection on and off, across every dispatch
+//      mode and both kernels (the obs_test idiom — coverage is an
+//      observer, never a participant).
+//   3. The mutator is deterministic per seed and every product
+//      assembles and parses; the control-flow skeleton survives.
+//   4. Seed cases round-trip through the on-disk format; malformed
+//      files are rejected with a diagnosis, not accepted quietly.
+//   5. The oracle passes a clean generated case and catches the planted
+//      translator skew (debug_skew_static_cycles) — the acceptance
+//      drill — and the snapshot cache actually serves forked runs.
+//   6. Snapshot-forked runs with divergent register mutations are
+//      bit-identical to cold runs applying the same mutation at the
+//      same cycle (the fork determinism contract).
+//   7. The minimizer only ever returns still-failing, no-larger cases.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/coverage.h"
+#include "fi/fi.h"
+#include "fuzz/corpus.h"
+#include "fuzz/farm.h"
+#include "fuzz/mutator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/program_gen.h"
+#include "platform/platform.h"
+#include "snap/snapshot.h"
+#include "soc/bus.h"
+#include "trc/assembler.h"
+
+namespace cabt {
+namespace {
+
+uint32_t testSeed() {
+  const char* env = std::getenv("CABT_TEST_SEED");
+  return env != nullptr
+             ? static_cast<uint32_t>(std::strtoul(env, nullptr, 0))
+             : 0;
+}
+
+// ---- 1. EdgeCoverage --------------------------------------------------
+
+TEST(EdgeCoverage, RecordsAndCounts) {
+  core::EdgeCoverage cov;
+  EXPECT_EQ(cov.bitsSet(), 0u);
+  cov.recordEdge(0x100, 0x200);
+  cov.recordEdge(0x100, 0x200);  // same edge, same bit
+  EXPECT_EQ(cov.bitsSet(), 1u);
+  cov.recordEdge(0x200, 0x100);  // direction matters
+  EXPECT_EQ(cov.bitsSet(), 2u);
+  cov.clear();
+  EXPECT_EQ(cov.bitsSet(), 0u);
+}
+
+TEST(EdgeCoverage, IndexIsDeterministicAndSpreads) {
+  EXPECT_EQ(core::EdgeCoverage::edgeIndex(0x1234, 0x5678),
+            core::EdgeCoverage::edgeIndex(0x1234, 0x5678));
+  // A few hundred distinct edges should not collapse onto a handful of
+  // bits (sanity of the mixer, not a strict collision bound).
+  std::set<uint32_t> indices;
+  for (uint32_t i = 0; i < 512; ++i) {
+    indices.insert(core::EdgeCoverage::edgeIndex(0x1000 + i * 4,
+                                                 0x2000 + i * 8));
+  }
+  EXPECT_GT(indices.size(), 400u);
+}
+
+TEST(EdgeCoverage, MergeAndNewBits) {
+  core::EdgeCoverage a;
+  core::EdgeCoverage b;
+  a.recordEdge(1, 2);
+  b.recordEdge(1, 2);
+  b.recordEdge(3, 4);
+  EXPECT_EQ(a.newBits(b), 1u);   // only (3,4) is new to a
+  EXPECT_EQ(b.newBits(a), 0u);   // a adds nothing to b
+  EXPECT_EQ(a.merge(b), 1u);     // merge reports what it added
+  EXPECT_EQ(a.bitsSet(), 2u);
+  EXPECT_EQ(a.newBits(b), 0u);
+}
+
+// ---- board helpers ----------------------------------------------------
+
+struct FuzzBoard {
+  std::vector<elf::Object> images;
+  std::vector<const elf::Object*> ptrs;
+};
+
+FuzzBoard makeBoard(const std::vector<std::string>& programs) {
+  FuzzBoard b;
+  for (const std::string& p : programs) {
+    b.images.push_back(trc::assemble(p));
+  }
+  for (const elf::Object& obj : b.images) {
+    b.ptrs.push_back(&obj);
+  }
+  return b;
+}
+
+platform::BoardConfig boardConfig(iss::DispatchMode mode, bool parallel) {
+  platform::BoardConfig cfg;
+  cfg.iss = platform::issConfigFor(xlat::DetailLevel::kICache);
+  cfg.iss.dispatch_mode = mode;
+  cfg.iss.trace_threshold = 2;
+  cfg.iss.threaded_threshold = 2;
+  cfg.iss.max_instructions = 2'000'000;
+  cfg.quantum = 256;
+  cfg.parallel.enabled = parallel;
+  cfg.parallel.workers = 2;
+  return cfg;
+}
+
+struct CovRun {
+  uint64_t digest = 0;
+  std::vector<soc::Transaction> bus_log;
+  uint64_t bits = 0;
+};
+
+CovRun runWithCoverage(const FuzzBoard& fb, iss::DispatchMode mode,
+                       bool parallel, bool collect) {
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  platform::ReferenceBoard board(desc, fb.ptrs, boardConfig(mode, parallel));
+  core::EdgeCoverage cov;
+  if (collect) {
+    for (size_t i = 0; i < board.numCores(); ++i) {
+      board.attachEdgeCoverage(i, &cov);
+    }
+  }
+  board.run();
+  CovRun r;
+  r.digest = snap::digest(board);
+  r.bus_log = board.board().bus.log();
+  r.bits = cov.bitsSet();
+  return r;
+}
+
+// ---- 2. coverage collection is non-perturbing -------------------------
+
+TEST(Coverage, CollectionNeverPerturbsArchitecturalState) {
+  fuzz::ProgramGenerator gen0(testSeed() + 21, /*shared_traffic=*/true);
+  fuzz::ProgramGenerator gen1(testSeed() + 22, /*shared_traffic=*/true);
+  const FuzzBoard board = makeBoard({gen0.generate(), gen1.generate()});
+  for (const iss::DispatchMode mode :
+       {iss::DispatchMode::kLookup, iss::DispatchMode::kChained,
+        iss::DispatchMode::kChainedTraces, iss::DispatchMode::kThreaded}) {
+    for (const bool parallel : {false, true}) {
+      SCOPED_TRACE("mode " + std::to_string(static_cast<int>(mode)) +
+                   (parallel ? " parallel" : " sequential"));
+      const CovRun off = runWithCoverage(board, mode, parallel, false);
+      const CovRun on = runWithCoverage(board, mode, parallel, true);
+      EXPECT_EQ(off.digest, on.digest);
+      ASSERT_EQ(off.bus_log.size(), on.bus_log.size());
+      for (size_t i = 0; i < off.bus_log.size(); ++i) {
+        EXPECT_EQ(off.bus_log[i].soc_cycle, on.bus_log[i].soc_cycle) << i;
+        EXPECT_EQ(off.bus_log[i].addr, on.bus_log[i].addr) << i;
+        EXPECT_EQ(off.bus_log[i].value, on.bus_log[i].value) << i;
+        EXPECT_EQ(off.bus_log[i].is_write, on.bus_log[i].is_write) << i;
+      }
+      EXPECT_GT(on.bits, 0u);  // the observer did observe something
+    }
+  }
+}
+
+TEST(Coverage, SignalIsDeterministicAcrossDispatchModes) {
+  fuzz::ProgramGenerator gen(testSeed() + 23);
+  const FuzzBoard board = makeBoard({gen.generate()});
+  const CovRun baseline =
+      runWithCoverage(board, iss::DispatchMode::kLookup, false, true);
+  for (const iss::DispatchMode mode :
+       {iss::DispatchMode::kChained, iss::DispatchMode::kChainedTraces,
+        iss::DispatchMode::kThreaded}) {
+    const CovRun run = runWithCoverage(board, mode, false, true);
+    EXPECT_EQ(run.bits, baseline.bits)
+        << "mode " << static_cast<int>(mode);
+  }
+}
+
+// ---- 3. mutator -------------------------------------------------------
+
+fuzz::SeedCase makeCase(uint32_t seed, size_t cores, bool shared) {
+  fuzz::SeedCase c;
+  for (size_t i = 0; i < cores; ++i) {
+    fuzz::ProgramGenerator gen(seed + static_cast<uint32_t>(i * 17), shared);
+    c.programs.push_back(gen.generate());
+  }
+  return c;
+}
+
+TEST(Mutator, DeterministicPerSeed) {
+  const fuzz::SeedCase base = makeCase(testSeed() + 31, 1, false);
+  fuzz::Mutator a(99);
+  fuzz::Mutator b(99);
+  for (int i = 0; i < 20; ++i) {
+    const std::optional<fuzz::SeedCase> ma = a.mutate(base);
+    const std::optional<fuzz::SeedCase> mb = b.mutate(base);
+    ASSERT_EQ(ma.has_value(), mb.has_value()) << i;
+    if (ma.has_value()) {
+      EXPECT_EQ(ma->programs, mb->programs) << i;
+      EXPECT_EQ(ma->faults, mb->faults) << i;
+    }
+  }
+}
+
+TEST(Mutator, ProductsAssembleAndFaultsParse) {
+  const fuzz::SeedCase base = makeCase(testSeed() + 32, 2, true);
+  fuzz::Mutator mutator(7);
+  int produced = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::optional<fuzz::SeedCase> m = mutator.mutate(base);
+    if (!m.has_value()) {
+      continue;
+    }
+    ++produced;
+    for (const std::string& p : m->programs) {
+      EXPECT_NO_THROW((void)trc::assemble(p)) << mutator.lastOperator();
+    }
+    for (const std::string& f : m->faults) {
+      EXPECT_NO_THROW((void)fi::parseFaultSpec(f)) << f;
+    }
+  }
+  EXPECT_GT(produced, 25);
+}
+
+TEST(Mutator, PreservesControlFlowSkeleton) {
+  const fuzz::SeedCase base = makeCase(testSeed() + 33, 1, false);
+  auto skeleton = [](const std::string& source) {
+    std::vector<std::string> keep;
+    for (const std::string& line : fuzz::splitLines(source)) {
+      if (line.find(':') != std::string::npos ||
+          line.find("jne") != std::string::npos ||
+          line.find("call") != std::string::npos ||
+          line.find("halt") != std::string::npos) {
+        keep.push_back(line);
+      }
+    }
+    return keep;
+  };
+  const std::vector<std::string> want = skeleton(base.programs[0]);
+  fuzz::Mutator mutator(13);
+  for (int i = 0; i < 30; ++i) {
+    const std::optional<fuzz::SeedCase> m = mutator.mutate(base);
+    if (!m.has_value()) {
+      continue;
+    }
+    EXPECT_EQ(skeleton(m->programs[0]), want) << mutator.lastOperator();
+  }
+}
+
+// ---- 4. corpus format -------------------------------------------------
+
+TEST(Corpus, SeedRoundTrips) {
+  fuzz::SeedCase c = makeCase(testSeed() + 41, 2, true);
+  c.quantum = 512;
+  c.fork_cycle = 1234;
+  c.horizon = 9999;
+  c.faults = {"dreg@2000:core=1,index=3,mask=16"};
+  c.note = "round trip";
+  const fuzz::SeedCase back = fuzz::parseSeed(fuzz::serializeSeed(c));
+  EXPECT_EQ(back.programs, c.programs);
+  EXPECT_EQ(back.quantum, c.quantum);
+  EXPECT_EQ(back.fork_cycle, c.fork_cycle);
+  EXPECT_EQ(back.horizon, c.horizon);
+  EXPECT_EQ(back.faults, c.faults);
+  EXPECT_EQ(back.note, c.note);
+}
+
+TEST(Corpus, RejectsMalformedSeeds) {
+  EXPECT_THROW((void)fuzz::parseSeed("not a seed\n"), Error);
+  EXPECT_THROW((void)fuzz::parseSeed("cabt-fuzz-seed v1\nbogus 1\n"), Error);
+  EXPECT_THROW(
+      (void)fuzz::parseSeed("cabt-fuzz-seed v1\nprogram\nhalt\n"),
+      Error);  // unterminated program
+  EXPECT_THROW((void)fuzz::parseSeed("cabt-fuzz-seed v1\nquantum 4\n"),
+               Error);  // no programs
+}
+
+TEST(Corpus, DirectoryScanAndAdd) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "fuzz_corpus_test";
+  std::filesystem::remove_all(dir);
+  fuzz::Corpus corpus(dir.string());
+  EXPECT_EQ(corpus.size(), 0u);
+  const fuzz::SeedCase c = makeCase(testSeed() + 42, 1, false);
+  const std::string p1 = corpus.add(c, "unit");
+  const std::string p2 = corpus.add(c, "unit");
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(corpus.size(), 2u);
+  fuzz::Corpus rescan(dir.string());
+  EXPECT_EQ(rescan.size(), 2u);
+  EXPECT_EQ(rescan.paths(), corpus.paths());
+}
+
+/// A long-running loop for the fork tests: generator programs halt in a
+/// few hundred cycles, too short for a meaningful fork point.
+std::string longProgram(int iterations) {
+  std::string p;
+  p += "_start: movha a0, hi(buf)\n";
+  p += "        lea a0, a0, lo(buf)\n";
+  p += "        movi d0, 3\n";
+  p += "        movi d1, 5\n";
+  p += "        movi d10, " + std::to_string(iterations) + "\n";
+  p += "l0:\n";
+  p += "        add d0, d0, d1\n";
+  p += "        mul d1, d0, d0\n";
+  p += "        stw d0, [a0]16\n";
+  p += "        ldw d2, [a0]16\n";
+  p += "        xor d1, d1, d2\n";
+  p += "        addi16 d10, -1\n";
+  p += "        jnz16 d10, l0\n";
+  p += "        add d9, d9, d0\n";
+  p += "        add d9, d9, d1\n";
+  p += "        halt\n";
+  p += "        .bss\nbuf:    .space 256\n";
+  return p;
+}
+
+// ---- 5. oracle --------------------------------------------------------
+
+TEST(Oracle, CleanGeneratedCasePassesThreeWay) {
+  fuzz::SeedCase c = makeCase(testSeed() + 51, 1, false);
+  fuzz::OracleOptions opts;
+  const fuzz::OracleResult r = fuzz::runOracle(c, opts, nullptr, nullptr);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.ok) << r.mismatch;
+  EXPECT_GT(r.ref_cycles, 0u);
+  // Grid (32 combos) plus the standalone-ISS/rtl/translator extras.
+  EXPECT_GT(r.executions, 32u);
+}
+
+TEST(Oracle, CatchesPlantedTranslatorSkew) {
+  fuzz::SeedCase c = makeCase(testSeed() + 51, 1, false);
+  fuzz::OracleOptions opts;
+  opts.xlat_skew = true;
+  const fuzz::OracleResult r = fuzz::runOracle(c, opts, nullptr, nullptr);
+  EXPECT_TRUE(r.valid);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.mismatch.find("translated platform"), std::string::npos)
+      << r.mismatch;
+}
+
+TEST(Oracle, MultiCoreSharedCasePassesGrid) {
+  fuzz::SeedCase c = makeCase(testSeed() + 52, 2, true);
+  fuzz::OracleOptions opts;
+  const fuzz::OracleResult r = fuzz::runOracle(c, opts, nullptr, nullptr);
+  EXPECT_TRUE(r.valid);
+  EXPECT_TRUE(r.ok) << r.mismatch;
+}
+
+TEST(Oracle, SnapshotCacheServesForkedRuns) {
+  fuzz::SeedCase c;
+  c.programs.push_back(longProgram(800));
+  fuzz::OracleOptions opts;
+  opts.three_way = false;
+  const fuzz::OracleResult probe =
+      fuzz::runOracle(c, opts, nullptr, nullptr);
+  ASSERT_TRUE(probe.valid && probe.ok) << probe.mismatch;
+  ASSERT_GT(probe.ref_cycles, 400u);
+  c.fork_cycle = probe.ref_cycles / 2;
+  c.horizon = probe.ref_cycles;
+  fuzz::SnapshotCache cache;
+  const fuzz::OracleResult first =
+      fuzz::runOracle(c, opts, &cache, nullptr);
+  EXPECT_TRUE(first.valid && first.ok) << first.mismatch;
+  EXPECT_GT(cache.misses(), 0u);  // every config warmed once
+  const uint64_t misses_after_first = cache.misses();
+  // A state-only mutant of the same programs restores, never re-warms.
+  c.faults = {"dreg@" + std::to_string(c.fork_cycle + 50) +
+              ":core=0,index=2,mask=4"};
+  const fuzz::OracleResult second =
+      fuzz::runOracle(c, opts, &cache, nullptr);
+  EXPECT_TRUE(second.valid) << second.mismatch;
+  EXPECT_TRUE(second.ok) << second.mismatch;
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+// ---- 6. snapshot-fork vs cold bit-identity ---------------------------
+
+TEST(SnapshotFork, ForksMatchColdRunsUnderDivergentMutations) {
+  const FuzzBoard fb = makeBoard({longProgram(600)});
+  const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
+  const platform::BoardConfig cfg =
+      boardConfig(iss::DispatchMode::kChainedTraces, false);
+
+  // Clean-run length, then warm one board to the midpoint and snapshot.
+  uint64_t total = 0;
+  {
+    platform::ReferenceBoard ref(desc, fb.ptrs, cfg);
+    ASSERT_EQ(ref.run(), iss::StopReason::kHalted);
+    total = ref.board().bus.socCycle();
+  }
+  ASSERT_GT(total, 400u);
+  const uint64_t fork = total / 2;
+  platform::ReferenceBoard warm(desc, fb.ptrs, cfg);
+  warm.runTo(fork);
+  const std::vector<uint8_t> snapshot = snap::save(warm);
+
+  std::set<uint64_t> final_digests;
+  for (int n = 0; n < 4; ++n) {
+    SCOPED_TRACE("fork " + std::to_string(n));
+    const std::string spec = "dreg@" + std::to_string(fork + 100) +
+                             ":core=0,index=" + std::to_string(n) +
+                             ",mask=" + std::to_string(1u << (n + 1));
+    // Forked run: restore the warmed snapshot, arm, finish.
+    platform::ReferenceBoard forked(desc, fb.ptrs, cfg);
+    snap::restore(forked, snapshot);
+    fi::Campaign fc;
+    fc.add(fi::parseFaultSpec(spec));
+    fc.arm(forked);
+    forked.run();
+    // Cold run: same mutation armed from reset, same cycle.
+    platform::ReferenceBoard cold(desc, fb.ptrs, cfg);
+    fi::Campaign cc;
+    cc.add(fi::parseFaultSpec(spec));
+    cc.arm(cold);
+    cold.run();
+    EXPECT_EQ(fc.firedCount(), cc.firedCount());
+    EXPECT_EQ(snap::digest(forked), snap::digest(cold));
+    final_digests.insert(snap::digest(forked));
+  }
+  // The four register mutations really diverged from one another.
+  EXPECT_GT(final_digests.size(), 1u);
+}
+
+// ---- 7. minimizer -----------------------------------------------------
+
+TEST(Minimizer, ShrinksSkewFindingAndKeepsItFailing) {
+  fuzz::SeedCase c = makeCase(testSeed() + 51, 1, false);
+  fuzz::OracleOptions opts;
+  opts.xlat_skew = true;
+  const fuzz::OracleResult before =
+      fuzz::runOracle(c, opts, nullptr, nullptr);
+  ASSERT_TRUE(before.valid);
+  ASSERT_FALSE(before.ok);
+  uint64_t trials = 0;
+  const fuzz::SeedCase min = fuzz::minimizeCase(c, opts, 40, &trials);
+  EXPECT_LE(min.totalLines(), c.totalLines());
+  EXPECT_GT(trials, 0u);
+  EXPECT_LE(trials, 40u);
+  const fuzz::OracleResult after =
+      fuzz::runOracle(min, opts, nullptr, nullptr);
+  EXPECT_TRUE(after.valid);
+  EXPECT_FALSE(after.ok);
+  // And the minimized case is clean without the planted bug.
+  fuzz::OracleOptions clean;
+  const fuzz::OracleResult sane =
+      fuzz::runOracle(min, clean, nullptr, nullptr);
+  EXPECT_TRUE(sane.valid);
+  EXPECT_TRUE(sane.ok) << sane.mismatch;
+}
+
+}  // namespace
+}  // namespace cabt

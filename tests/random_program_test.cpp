@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "fuzz/program_gen.h"
 #include "iss/iss.h"
 #include "platform/platform.h"
 #include "rtlsim/rtlsim.h"
@@ -28,157 +29,10 @@
 namespace cabt {
 namespace {
 
-/// Deterministic structured program generator. With `shared_traffic` the
-/// program additionally talks to the reference board's shared
-/// peripherals (scratch registers and the inter-core mailbox) between
-/// private compute sections — the workload shape of the multi-core
-/// parallel-round scenario.
-class ProgramGenerator {
- public:
-  explicit ProgramGenerator(uint32_t seed, bool shared_traffic = false)
-      : shared_traffic_(shared_traffic), rng_(seed) {}
-
-  std::string generate() {
-    out_.str("");
-    out_ << "_start: movha a0, hi(buf)\n";
-    out_ << "        lea a0, a0, lo(buf)\n";
-    if (shared_traffic_) {
-      out_ << "        movha a5, 0xf000\n";  // I/O region base
-    }
-    // Seed a few data registers with random constants.
-    for (int i = 0; i < 6; ++i) {
-      out_ << "        movi d" << i << ", " << smallInt() << "\n";
-    }
-    const int sections = 2 + static_cast<int>(rng_() % 3);
-    for (int s = 0; s < sections; ++s) {
-      switch (rng_() % (shared_traffic_ ? 5 : 4)) {
-        case 0:
-          emitStraightLine();
-          break;
-        case 1:
-          emitLoop(s);
-          break;
-        case 2:
-          emitMemoryTraffic(s);
-          break;
-        case 3:
-          emitCall(s);
-          break;
-        case 4:
-          emitSharedTraffic();
-          break;
-      }
-    }
-    if (shared_traffic_) {
-      emitSharedTraffic();  // at least one shared access per program
-    }
-    // Fold state into d9 so every path affects the final comparison.
-    out_ << "        add d9, d9, d0\n";
-    out_ << "        add d9, d9, d1\n";
-    out_ << "        halt\n";
-    // Callee bodies are appended after the halt.
-    out_ << callees_.str();
-    out_ << "        .bss\nbuf:    .space 256\n";
-    return out_.str();
-  }
-
- private:
-  int smallInt() { return static_cast<int>(rng_() % 2001) - 1000; }
-  int reg() { return static_cast<int>(rng_() % 8); }  // d0..d7
-
-  void emitStraightLine() {
-    static const char* ops[] = {"add", "sub", "and", "or",
-                                "xor", "mul", "shl", "sar"};
-    const int n = 3 + static_cast<int>(rng_() % 10);
-    for (int i = 0; i < n; ++i) {
-      if (rng_() % 4 == 0) {
-        // 16-bit forms exercise the mixed-width decoding and CABs.
-        static const char* ops16[] = {"mov16", "add16", "sub16"};
-        out_ << "        " << ops16[rng_() % 3] << " d" << reg() << ", d"
-             << reg() << "\n";
-      } else {
-        out_ << "        " << ops[rng_() % 8] << " d" << reg() << ", d"
-             << reg() << ", d" << reg() << "\n";
-      }
-    }
-  }
-
-  void emitLoop(int id) {
-    const int count = 2 + static_cast<int>(rng_() % 20);
-    const int counter = 10 + static_cast<int>(rng_() % 3);  // d10..d12
-    out_ << "        movi d" << counter << ", " << count << "\n";
-    out_ << "l" << id << ":\n";
-    emitStraightLine();
-    out_ << "        addi16 d" << counter << ", -1\n";
-    // Alternate between the 16-bit and 32-bit conditional forms.
-    if (rng_() % 2 == 0) {
-      out_ << "        jnz16 d" << counter << ", l" << id << "\n";
-    } else {
-      out_ << "        movi d13, 0\n";
-      out_ << "        jne d" << counter << ", d13, l" << id << "\n";
-    }
-  }
-
-  void emitMemoryTraffic(int id) {
-    (void)id;
-    const int n = 2 + static_cast<int>(rng_() % 5);
-    for (int i = 0; i < n; ++i) {
-      const int off = static_cast<int>(rng_() % 60) * 4;
-      if (rng_() % 2 == 0) {
-        out_ << "        stw d" << reg() << ", [a0]" << off << "\n";
-      } else {
-        out_ << "        ldw d" << reg() << ", [a0]" << off << "\n";
-      }
-      if (rng_() % 3 == 0) {
-        out_ << "        stb d" << reg() << ", [a0]"
-             << (rng_() % 200) << "\n";
-      }
-    }
-  }
-
-  void emitCall(int id) {
-    out_ << "        jl f" << id << "\n";
-    callees_ << "f" << id << ":\n";
-    const int n = 1 + static_cast<int>(rng_() % 4);
-    for (int i = 0; i < n; ++i) {
-      callees_ << "        add d" << reg() << ", d" << reg() << ", d"
-               << reg() << "\n";
-    }
-    callees_ << "        ret16\n";
-  }
-
-  /// Random chatter with the shared peripherals: scratch-register reads
-  /// and writes, mailbox pushes, pops and status polls (a pop of an
-  /// empty mailbox reads 0 — benign whatever the interleaving).
-  void emitSharedTraffic() {
-    const int n = 1 + static_cast<int>(rng_() % 3);
-    for (int i = 0; i < n; ++i) {
-      const int scratch = 0x300 + static_cast<int>(rng_() % 16) * 4;
-      switch (rng_() % 5) {
-        case 0:
-          out_ << "        stw d" << reg() << ", [a5]" << scratch << "\n";
-          break;
-        case 1:
-          out_ << "        ldw d" << reg() << ", [a5]" << scratch << "\n";
-          break;
-        case 2:
-          out_ << "        stw d" << reg() << ", [a5]" << 0x600 << "\n";
-          break;
-        case 3:
-          out_ << "        ldw d" << reg() << ", [a5]" << 0x600 << "\n";
-          break;
-        case 4:
-          out_ << "        ldw d" << reg() << ", [a5]" << 0x604 << "\n";
-          break;
-      }
-    }
-  }
-
-  bool shared_traffic_ = false;
-  std::mt19937 rng_;
-  std::ostringstream out_;
-  std::ostringstream callees_;
-};
+// The generator lives in src/fuzz/program_gen.h (one definition, shared
+// with the fuzzing farm); these tests consume it as a library.
+using fuzz::GeneratorConfig;
+using fuzz::ProgramGenerator;
 
 /// Base offset added to every suite parameter (1..60), read from the
 /// CABT_TEST_SEED environment variable (default 0). Every failure prints
@@ -200,7 +54,11 @@ TEST_P(RandomPrograms, AllVehiclesAgree) {
   SCOPED_TRACE("seed: " + std::to_string(seed) + " (CABT_TEST_SEED base " +
                std::to_string(seedBase()) + " + param " +
                std::to_string(GetParam()) + ")");
-  ProgramGenerator gen(seed);
+  ProgramGenerator gen(GeneratorConfig{seed, /*shared_traffic=*/false});
+  // Full generator config, so the failure log line alone reproduces the
+  // program: one core, every detail level and dispatch engine below.
+  SCOPED_TRACE("generator: cores=1 " + fuzz::describe(gen.config()) +
+               " detail=all dispatch=all");
   const std::string source = gen.generate();
   SCOPED_TRACE("program:\n" + source);
 
@@ -344,10 +202,15 @@ TEST_P(MultiCoreRandomPrograms, ParallelKernelBitIdentical) {
   const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
   std::vector<elf::Object> images;
   std::vector<const elf::Object*> ptrs;
+  std::string gen_desc = "generator: cores=3 detail=icache";
   for (uint32_t core = 0; core < 3; ++core) {
-    ProgramGenerator gen(seed + 1000 * core, /*shared_traffic=*/true);
+    ProgramGenerator gen(
+        GeneratorConfig{seed + 1000 * core, /*shared_traffic=*/true});
+    gen_desc += " core" + std::to_string(core) + "=[" +
+                fuzz::describe(gen.config()) + "]";
     images.push_back(trc::assemble(gen.generate()));
   }
+  SCOPED_TRACE(gen_desc);
   for (const elf::Object& obj : images) {
     ptrs.push_back(&obj);
   }
@@ -435,10 +298,15 @@ TEST_P(SnapshotFuzz, RandomCycleSaveRestoreBitIdentical) {
   const arch::ArchDescription desc = arch::ArchDescription::defaultTc10gp();
   std::vector<elf::Object> images;
   std::vector<const elf::Object*> ptrs;
+  std::string gen_desc = "generator: cores=3";
   for (uint32_t core = 0; core < 3; ++core) {
-    ProgramGenerator gen(seed + 1000 * core, /*shared_traffic=*/true);
+    ProgramGenerator gen(
+        GeneratorConfig{seed + 1000 * core, /*shared_traffic=*/true});
+    gen_desc += " core" + std::to_string(core) + "=[" +
+                fuzz::describe(gen.config()) + "]";
     images.push_back(trc::assemble(gen.generate()));
   }
+  SCOPED_TRACE(gen_desc);
   for (const elf::Object& obj : images) {
     ptrs.push_back(&obj);
   }
@@ -447,6 +315,9 @@ TEST_P(SnapshotFuzz, RandomCycleSaveRestoreBitIdentical) {
       iss::DispatchMode::kLookup, iss::DispatchMode::kChained,
       iss::DispatchMode::kChainedTraces, iss::DispatchMode::kThreaded};
   const iss::DispatchMode mode = kModes[GetParam() % 4];
+  SCOPED_TRACE("config: parallel=" + std::to_string(parallel) +
+               " dispatch_mode=" +
+               std::to_string(static_cast<int>(mode)));
   const auto build = [&] {
     platform::BoardConfig cfg;
     cfg.quantum = 256;
