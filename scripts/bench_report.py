@@ -5,7 +5,7 @@ Every bench binary writes a BENCH_<name>.json next to its working
 directory — or into $CABT_BENCH_DIR when set (one row per
 workload/variant, with host MIPS and — for ISS rows — the dispatch-path
 counters). This script collects them into a single BENCH_SUMMARY.md
-artifact and enforces two gates:
+artifact and enforces three gates:
 
   * dispatch ablation — chained dispatch must not be slower than
     per-block lookup dispatch, and threaded-code dispatch must not be
@@ -13,9 +13,13 @@ artifact and enforces two gates:
   * parallel rounds — on every BENCH_parallel_cores.json row with
     quantum >= 256, the parallel kernel must not fall below the
     sequential kernel (at smaller quanta the round barrier is expected
-    to dominate; that region is reported but not gated).
+    to dominate; that region is reported but not gated);
+  * fleet — on BENCH_fleet.json, fleet runs must be digest-reproducible
+    run-to-run, report one artifact decode per distinct image, and keep
+    aggregate host MIPS at M >= 2 boards at or above the single-board
+    baseline.
 
-A third, opt-in gate compares against a saved baseline directory:
+A fourth, opt-in gate compares against a saved baseline directory:
 
   * baseline — with --baseline DIR, every (bench, workload, variant)
     row present in both trees must reach --baseline-min-ratio x the
@@ -229,6 +233,81 @@ def check_parallel_gate(records, min_ratio, min_quantum=256):
     return compared, failures
 
 
+def check_fleet_gate(records, min_ratio):
+    """Three invariants over BENCH_fleet.json rows:
+
+      * every repeat of a sweep point carries the same digest (fleet
+        runs are bit-reproducible run-to-run);
+      * every row reports artifact_decodes == images (the fleet shared
+        one program artifact per distinct image — the decode-once
+        guarantee);
+      * best-of-repeats aggregate host MIPS at every fleet size M >= 2
+        reaches min_ratio x the best single-board row (scheduling
+        boards over the pool must not cost what it parallelizes;
+        best-of-repeats keeps one descheduled run on a loaded runner
+        from failing the sweep).
+
+    Returns (compared_pairs, failures), or None when there is no fleet
+    record at all. Zero compared pairs fails at the caller, as with the
+    other gates.
+    """
+    rows = records.get("fleet")
+    if rows is None:
+        return None
+    compared = 0
+    failures = []
+    digests = {}  # (workload, boards) -> (first digest, first variant)
+    single_best = {}  # workload -> best single-board host MIPS
+    for r in rows:
+        key = (r.get("workload"), r.get("boards"))
+        digest = r.get("digest")
+        if digest is not None:
+            first = digests.setdefault(key, (digest, r.get("variant")))
+            if first[0] != digest:
+                failures.append(
+                    f"{key[0]}/boards_{key[1]}: digest {digest} != "
+                    f"{first[0]} (from {first[1]}) — fleet runs are not "
+                    "reproducible"
+                )
+            else:
+                compared += 1
+        decodes = r.get("artifact_decodes")
+        images = r.get("images")
+        if decodes is not None and images is not None:
+            compared += 1
+            if decodes != images:
+                failures.append(
+                    f"{key[0]}/{r.get('variant')}: {decodes} decodes for "
+                    f"{images} images — artifact sharing broke"
+                )
+        if r.get("boards") == 1:
+            mips = r.get("host_mips", 0.0)
+            workload = r.get("workload")
+            single_best[workload] = max(single_best.get(workload, 0.0), mips)
+    fleet_best = {}  # (workload, boards) -> best aggregate host MIPS
+    for r in rows:
+        boards = r.get("boards")
+        if boards is None or boards < 2:
+            continue
+        key = (r.get("workload"), boards)
+        fleet_best[key] = max(
+            fleet_best.get(key, 0.0), r.get("host_mips", 0.0)
+        )
+    for (workload, boards), mips in sorted(fleet_best.items()):
+        base = single_best.get(workload, 0.0)
+        if base <= 0 or mips <= 0:
+            continue
+        compared += 1
+        ratio = mips / base
+        if ratio < min_ratio:
+            failures.append(
+                f"{workload}/fleet_{boards}: aggregate {mips:.2f} MIPS "
+                f"vs single-board {base:.2f} MIPS (ratio {ratio:.2f} "
+                f"< {min_ratio:.2f})"
+            )
+    return compared, failures
+
+
 def check_baseline_gate(records, baseline_records, min_ratio):
     """Every (bench, workload, variant) row present in both trees must
     reach min_ratio x the baseline host MIPS.
@@ -288,6 +367,18 @@ def main():
         "--require-parallel",
         action="store_true",
         help="fail when BENCH_parallel_cores.json is absent",
+    )
+    parser.add_argument(
+        "--min-fleet-ratio",
+        type=float,
+        default=0.9,
+        help="minimum fleet-aggregate/single-board host-MIPS ratio at "
+        "M >= 2 boards (noise tolerance; real fleets sit well above 1)",
+    )
+    parser.add_argument(
+        "--require-fleet",
+        action="store_true",
+        help="fail when BENCH_fleet.json is absent",
     )
     parser.add_argument(
         "--baseline",
@@ -350,8 +441,17 @@ def main():
         "passed": "parallel >= sequential on {n} board/quantum rows "
         "(quantum >= 256)",
     }
+    fleet_gate = {
+        "name": "fleet",
+        "gate": check_fleet_gate(records, args.min_fleet_ratio),
+        "required": args.require_fleet,
+        "record": "BENCH_fleet.json",
+        "empty": "no digest/decode/throughput rows",
+        "passed": "fleet gate held on {n} checks (digests reproducible, "
+        "one decode per image, aggregate MIPS >= single board)",
+    }
     status = 0
-    for g in (dispatch_gate, parallel_gate):
+    for g in (dispatch_gate, parallel_gate, fleet_gate):
         if g["gate"] is None:
             if g["required"]:
                 print(f"error: {g['record']} missing", file=sys.stderr)

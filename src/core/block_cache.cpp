@@ -1,50 +1,16 @@
 #include "core/block_cache.h"
 
 #include <algorithm>
-
-#include "arch/icache_model.h"
-#include "arch/timing.h"
+#include <utility>
 
 namespace cabt::core {
 
-BlockCache::BlockCache(const arch::ArchDescription& desc,
-                       const BlockGraph& graph)
-    : branch_(desc.branch) {
-  blocks_.reserve(graph.blocks().size());
-  for (const Block& b : graph.blocks()) {
-    ExecBlock eb;
-    eb.addr = b.addr;
-    eb.instrs.assign(graph.begin(b), graph.end(b));
-    eb.target = b.target;
-    eb.fall_through = b.fall_through;
-
-    eb.cum_cycles.reserve(eb.instrs.size());
-    arch::PipelineTimer timer(desc.pipeline);
-    for (const trc::Instr& in : eb.instrs) {
-      timer.issue(in.timedOp());
-      eb.cum_cycles.push_back(static_cast<uint32_t>(timer.cycles()));
-    }
-
-    if (desc.icache.enabled) {
-      eb.new_line.reserve(eb.instrs.size());
-      eb.line_set.reserve(eb.instrs.size());
-      eb.line_tag.reserve(eb.instrs.size());
-      bool have_line = false;
-      uint32_t last_line = 0;
-      for (const trc::Instr& in : eb.instrs) {
-        const uint32_t line = desc.icache.lineOf(in.addr);
-        const bool starts_group = !have_line || line != last_line;
-        have_line = true;
-        last_line = line;
-        eb.new_line.push_back(starts_group ? 1 : 0);
-        eb.line_set.push_back(desc.icache.setOf(in.addr));
-        eb.line_tag.push_back(
-            arch::ICacheState::tagWord(desc.icache.tagOf(in.addr)));
-      }
-    }
-
-    by_addr_.emplace(eb.addr, blocks_.size());
-    blocks_.push_back(std::move(eb));
+BlockCache::BlockCache(std::shared_ptr<const ProgramArtifact> artifact)
+    : artifact_(std::move(artifact)), branch_(artifact_->branch()) {
+  const std::vector<StaticBlock>& stat = artifact_->blocks();
+  blocks_.resize(stat.size());
+  for (size_t i = 0; i < stat.size(); ++i) {
+    blocks_[i].stat = &stat[i];
   }
 }
 
@@ -60,7 +26,7 @@ std::vector<const ExecBlock*> BlockCache::hottest(size_t n) const {
             [](const ExecBlock* a, const ExecBlock* b) {
               return a->exec_count != b->exec_count
                          ? a->exec_count > b->exec_count
-                         : a->addr < b->addr;
+                         : a->addr() < b->addr();
             });
   if (out.size() > n) {
     out.resize(n);

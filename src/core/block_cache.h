@@ -3,8 +3,9 @@
 // The ISS hot loop executes whole cached blocks instead of re-fetching,
 // re-classifying and re-scheduling every instruction on every execution
 // (the paper's premise: decode and schedule once, at block granularity).
-// Per block the cache precomputes everything that does not depend on
-// dynamic state:
+// Since the fleet refactor the precomputed tables live in an immutable
+// shared ProgramArtifact (program_artifact.h): per block the artifact
+// holds
 //   * a contiguous copy of the decoded instructions (no per-step address
 //     hash lookups, no leader-set probes),
 //   * the cumulative issue-schedule cycles after every instruction, from
@@ -13,19 +14,24 @@
 //   * the cache-line group starts (the icache fetch rule touches one line
 //     per distinct consecutive line within a block; the groups follow
 //     from the static instruction addresses).
-// Dynamic state — register values, icache tags/LRU, branch outcomes —
-// stays in the ISS; the per-block corrections are applied at block
-// boundaries exactly as in per-instruction execution, which is why the
-// two engines are bit-identical (see DESIGN.md, "Block-cached
-// execution").
+// The BlockCache is now the *per-core overlay* over that artifact: hot
+// counters, breakpoint flags, formed traces and lowered threaded-code
+// programs — everything dispatch mutates — stays private per core, while
+// N cores across M boards running the same image point at one shared
+// artifact that is never written after publication. Dynamic state —
+// register values, icache tags/LRU, branch outcomes — stays in the ISS;
+// the per-block corrections are applied at block boundaries exactly as
+// in per-instruction execution, which is why the engines are
+// bit-identical (see DESIGN.md, "Block-cached execution").
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "arch/arch.h"
 #include "core/block_graph.h"
+#include "core/program_artifact.h"
 #include "core/threaded.h"
 
 namespace cabt::core {
@@ -43,25 +49,44 @@ namespace cabt::core {
 constexpr int32_t kTraceUnformed = -1;
 constexpr int32_t kTraceDeclined = -2;
 
-/// One executable cached block.
+/// One executable cached block: the per-core mutable residue plus a
+/// pointer into the shared artifact's immutable tables. The forwarding
+/// accessors keep dispatch reading the precomputed arrays exactly as
+/// before; everything dispatch *writes* is a plain member here, so the
+/// shared StaticBlock is never touched.
 struct ExecBlock {
-  uint32_t addr = 0;
-  std::vector<trc::Instr> instrs;
+  /// The immutable half, owned by the BlockCache's ProgramArtifact
+  /// (whose shared_ptr outlives every ExecBlock pointing into it).
+  const StaticBlock* stat = nullptr;
+
+  [[nodiscard]] uint32_t addr() const { return stat->addr; }
+  [[nodiscard]] const std::vector<trc::Instr>& instrs() const {
+    return stat->instrs;
+  }
   /// Issue-schedule cycles consumed after instruction i has issued
   /// (PipelineTimer::cycles() from a drained pipeline). Always filled;
   /// functional-only execution simply ignores it.
-  std::vector<uint32_t> cum_cycles;
+  [[nodiscard]] const std::vector<uint32_t>& cum_cycles() const {
+    return stat->cum_cycles;
+  }
   /// 1 when instruction i is the first of a new cache-line group within
   /// the block (always set for instruction 0). Empty without an icache.
-  std::vector<uint8_t> new_line;
+  [[nodiscard]] const std::vector<uint8_t>& new_line() const {
+    return stat->new_line;
+  }
   /// Precomputed icache set index and combined tag+valid word per
   /// instruction (meaningful where new_line[i] != 0, so dispatch skips
   /// the per-access address arithmetic). Empty without an icache.
-  std::vector<uint32_t> line_set;
-  std::vector<uint32_t> line_tag;
+  [[nodiscard]] const std::vector<uint32_t>& line_set() const {
+    return stat->line_set;
+  }
+  [[nodiscard]] const std::vector<uint32_t>& line_tag() const {
+    return stat->line_tag;
+  }
   /// Successor indices into BlockCache::blocks() (-1 = none / dynamic).
-  int32_t target = -1;
-  int32_t fall_through = -1;
+  [[nodiscard]] int32_t target() const { return stat->target; }
+  [[nodiscard]] int32_t fall_through() const { return stat->fall_through; }
+
   /// Index into BlockCache::traces() of the superblock headed by this
   /// block, or kTraceUnformed.
   int32_t trace = kTraceUnformed;
@@ -110,6 +135,8 @@ struct TraceSegment {
 /// touch sequence restarts there too). All architectural corrections
 /// still happen at the original block boundaries during dispatch, which
 /// is what keeps trace execution bit-identical to per-block execution.
+/// Traces are per-core (formed from this core's observed branch
+/// statistics), so they live in the overlay, not the shared artifact.
 struct Trace {
   uint32_t addr = 0;  ///< head block address
   std::vector<trc::Instr> instrs;
@@ -136,9 +163,14 @@ struct TraceOptions {
 
 class BlockCache {
  public:
-  /// Predecodes every block of `graph`. Timing tables are filled from
-  /// `desc` (pipeline model and icache geometry).
-  BlockCache(const arch::ArchDescription& desc, const BlockGraph& graph);
+  /// Builds the per-core overlay over a shared artifact: one small
+  /// ExecBlock of counters per StaticBlock. The expensive predecode
+  /// happened once, when the artifact was built — constructing a
+  /// thousand more caches over the same artifact costs a thousand
+  /// counter vectors, not a thousand decodes.
+  explicit BlockCache(std::shared_ptr<const ProgramArtifact> artifact);
+
+  [[nodiscard]] const ProgramArtifact& artifact() const { return *artifact_; }
 
   [[nodiscard]] const std::vector<ExecBlock>& blocks() const {
     return blocks_;
@@ -148,8 +180,8 @@ class BlockCache {
   /// Cached block starting at `addr`, or nullptr when `addr` is not a
   /// block leader (the caller falls back to per-instruction stepping).
   [[nodiscard]] ExecBlock* lookup(uint32_t addr) {
-    const auto it = by_addr_.find(addr);
-    return it == by_addr_.end() ? nullptr : &blocks_[it->second];
+    const int32_t i = artifact_->graph().indexAt(addr);
+    return i < 0 ? nullptr : &blocks_[static_cast<size_t>(i)];
   }
 
   /// The `n` most executed blocks, hottest first (ties by address).
@@ -189,12 +221,12 @@ class BlockCache {
   [[nodiscard]] size_t threadedOps() const { return threaded_ops_; }
 
  private:
+  std::shared_ptr<const ProgramArtifact> artifact_;
   std::vector<ExecBlock> blocks_;
   std::vector<Trace> traces_;
   std::vector<ThreadedProgram> threaded_;
   size_t threaded_ops_ = 0;
   arch::BranchModel branch_;
-  std::unordered_map<uint32_t, size_t> by_addr_;
 };
 
 }  // namespace cabt::core

@@ -102,21 +102,21 @@ int32_t BlockCache::lowerBlockThreaded(int32_t idx,
                                        const ThreadedBinder& binder,
                                        uint32_t budget_ops) {
   const ExecBlock& block = blocks_[static_cast<size_t>(idx)];
-  const size_t need = block.instrs.size() + 1;  // worst case: + terminator
+  const size_t need = block.instrs().size() + 1;  // worst case: + terminator
   if (threaded_ops_ + need > budget_ops) {
     return kTraceDeclined;
   }
   ThreadedProgram prog;
-  prog.addr = block.addr;
-  prog.total_instrs = static_cast<uint32_t>(block.instrs.size());
+  prog.addr = block.addr();
+  prog.total_instrs = static_cast<uint32_t>(block.instrs().size());
   prog.ops.reserve(need);
   const bool icache = binder.icache_on;
-  lowerSegment(block.instrs.data(), block.cum_cycles.data(),
-               icache ? block.new_line.data() : nullptr,
-               icache ? block.line_set.data() : nullptr,
-               icache ? block.line_tag.data() : nullptr, block.instrs.size(),
+  lowerSegment(block.instrs().data(), block.cum_cycles().data(),
+               icache ? block.new_line().data() : nullptr,
+               icache ? block.line_set().data() : nullptr,
+               icache ? block.line_tag().data() : nullptr, block.instrs().size(),
                branch_, binder, prog.ops);
-  prog.segs.push_back({idx, 0, block.addr});
+  prog.segs.push_back({idx, 0, block.addr()});
   threaded_ops_ += prog.ops.size();
   threaded_.push_back(std::move(prog));
   return static_cast<int32_t>(threaded_.size()) - 1;

@@ -20,23 +20,23 @@ namespace {
 /// dynamically, and a conditional branch without a strictly dominant
 /// observed outcome gives the guard no better than coin-flip odds.
 int32_t dominantSuccessor(const ExecBlock& b) {
-  const trc::Instr& last = b.instrs.back();
+  const trc::Instr& last = b.instrs().back();
   if (!last.isControlTransfer()) {
-    return b.fall_through;
+    return b.fall_through();
   }
   switch (last.cls()) {
     case arch::OpClass::kBranchUncond:
     case arch::OpClass::kCall:
-      return b.target;
+      return b.target();
     case arch::OpClass::kBranchCond:
       // Extend through a conditional only when one outcome clearly
       // dominates (4:1): a near-balanced branch makes the guard fail so
       // often that the bail overhead eats the trace's gain.
       if (b.taken_count > 4 * b.ft_count) {
-        return b.target;
+        return b.target();
       }
       if (b.ft_count > 4 * b.taken_count) {
-        return b.fall_through;
+        return b.fall_through();
       }
       return -1;
     default:
@@ -49,7 +49,7 @@ int32_t dominantSuccessor(const ExecBlock& b) {
 int32_t BlockCache::formTrace(int32_t head, const TraceOptions& opts) {
   std::vector<int32_t> chain;
   chain.push_back(head);
-  uint32_t total = static_cast<uint32_t>(blocks_[head].instrs.size());
+  uint32_t total = static_cast<uint32_t>(blocks_[head].instrs().size());
   int32_t cur = head;
   while (chain.size() < opts.max_blocks) {
     const int32_t next = dominantSuccessor(blocks_[cur]);
@@ -61,10 +61,10 @@ int32_t BlockCache::formTrace(int32_t head, const TraceOptions& opts) {
     // reach them through the stepping fallback.
     const ExecBlock& nb = blocks_[next];
     if (nb.has_breakpoint != 0 ||
-        total + nb.instrs.size() > opts.max_instrs) {
+        total + nb.instrs().size() > opts.max_instrs) {
       break;
     }
-    total += static_cast<uint32_t>(nb.instrs.size());
+    total += static_cast<uint32_t>(nb.instrs().size());
     chain.push_back(next);
     cur = next;
   }
@@ -73,12 +73,12 @@ int32_t BlockCache::formTrace(int32_t head, const TraceOptions& opts) {
   }
 
   Trace tr;
-  tr.addr = blocks_[head].addr;
+  tr.addr = blocks_[head].addr();
   tr.total_instrs = total;
   tr.instrs.reserve(total);
   tr.cum_cycles.reserve(total);
   tr.segs.reserve(chain.size());
-  const bool have_lines = !blocks_[head].new_line.empty();
+  const bool have_lines = !blocks_[head].new_line().empty();
   if (have_lines) {
     tr.new_line.reserve(total);
     tr.line_set.reserve(total);
@@ -89,19 +89,19 @@ int32_t BlockCache::formTrace(int32_t head, const TraceOptions& opts) {
     TraceSegment seg;
     seg.block = idx;
     seg.first = static_cast<uint32_t>(tr.instrs.size());
-    seg.count = static_cast<uint32_t>(b.instrs.size());
-    seg.entry_addr = b.addr;
+    seg.count = static_cast<uint32_t>(b.instrs().size());
+    seg.entry_addr = b.addr();
     tr.segs.push_back(seg);
-    tr.instrs.insert(tr.instrs.end(), b.instrs.begin(), b.instrs.end());
-    tr.cum_cycles.insert(tr.cum_cycles.end(), b.cum_cycles.begin(),
-                         b.cum_cycles.end());
+    tr.instrs.insert(tr.instrs.end(), b.instrs().begin(), b.instrs().end());
+    tr.cum_cycles.insert(tr.cum_cycles.end(), b.cum_cycles().begin(),
+                         b.cum_cycles().end());
     if (have_lines) {
-      tr.new_line.insert(tr.new_line.end(), b.new_line.begin(),
-                         b.new_line.end());
-      tr.line_set.insert(tr.line_set.end(), b.line_set.begin(),
-                         b.line_set.end());
-      tr.line_tag.insert(tr.line_tag.end(), b.line_tag.begin(),
-                         b.line_tag.end());
+      tr.new_line.insert(tr.new_line.end(), b.new_line().begin(),
+                         b.new_line().end());
+      tr.line_set.insert(tr.line_set.end(), b.line_set().begin(),
+                         b.line_set().end());
+      tr.line_tag.insert(tr.line_tag.end(), b.line_tag().begin(),
+                         b.line_tag().end());
     }
   }
   traces_.push_back(std::move(tr));

@@ -15,14 +15,11 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
     : desc_(desc),
       config_(config),
       bus_(bus),
-      graph_(core::BlockGraph::build(object, config.extra_leaders)),
+      artifact_(core::ProgramArtifactCache::instance().acquire(
+          desc, object, config.extra_leaders)),
+      graph_(artifact_->graph()),
       timer_(desc_.pipeline),
-      icache_(desc_.icache),
-      symbols_(object) {
-  const std::vector<Instr>& instrs = graph_.instrs();
-  for (size_t i = 0; i < instrs.size(); ++i) {
-    by_addr_.emplace(instrs[i].addr, i);
-  }
+      icache_(desc_.icache) {
   for (const elf::Section& s : object.sections) {
     if (s.kind == elf::SectionKind::kProgbits) {
       mem_.writeBlock(s.addr, s.data.data(), s.data.size());
@@ -39,7 +36,7 @@ Iss::Iss(const arch::ArchDescription& desc, const elf::Object& object,
 
 core::BlockCache& Iss::blockCache() {
   if (cache_ == nullptr) {
-    cache_ = std::make_unique<core::BlockCache>(desc_, graph_);
+    cache_ = std::make_unique<core::BlockCache>(artifact_);
     // Breakpoints planted before the first dispatch: replay them into
     // the per-block flags the dispatcher tests.
     for (const uint32_t addr : breakpoints_) {
@@ -82,8 +79,9 @@ bool Iss::traceHasBreakpoint(const core::Trace& trace) const {
 }
 
 const Instr& Iss::fetch(uint32_t addr) const {
-  const auto it = by_addr_.find(addr);
-  CABT_CHECK(it != by_addr_.end(),
+  const auto& by_addr = artifact_->instrByAddr();
+  const auto it = by_addr.find(addr);
+  CABT_CHECK(it != by_addr.end(),
              "PC " << hex32(addr) << " is not at an instruction boundary");
   return graph_.instrs()[it->second];
 }
@@ -275,8 +273,8 @@ bool Iss::checkDebugBreak() {
 }
 
 bool Iss::blockHasBreakpoint(const core::ExecBlock& block) const {
-  const auto it = breakpoints_.lower_bound(block.addr);
-  return it != breakpoints_.end() && *it <= block.instrs.back().addr;
+  const auto it = breakpoints_.lower_bound(block.addr());
+  return it != breakpoints_.end() && *it <= block.instrs().back().addr;
 }
 
 void Iss::icacheAccess(uint32_t addr) {
@@ -396,18 +394,18 @@ void Iss::dispatchBlock(core::ExecBlock& block) {
   const bool timing = config_.model_timing;
   if (timing) {
     current_block_ = BlockRecord{};
-    current_block_.addr = block.addr;
+    current_block_.addr = block.addr();
     in_block_ = true;
     ++stats_.blocks;
   }
-  const size_t n = block.instrs.size();
+  const size_t n = block.instrs().size();
   for (size_t i = 0; i < n; ++i) {
-    const Instr& instr = block.instrs[i];
+    const Instr& instr = block.instrs()[i];
     if (timing) {
-      if (icacheOn() && block.new_line[i] != 0) {
+      if (icacheOn() && block.new_line()[i] != 0) {
         icacheAccess(instr.addr);
       }
-      live_pipe_ = block.cum_cycles[i];
+      live_pipe_ = block.cum_cycles()[i];
     }
     execute(instr);
     ++stats_.instructions;
@@ -435,12 +433,12 @@ void Iss::bailOutOfBlockT(core::ExecBlock& block, size_t i) {
   if constexpr (Timing) {
     timer_.reset();
     for (size_t j = 0; j < i; ++j) {
-      timer_.issue(block.instrs[j].timedOp());
+      timer_.issue(block.instrs()[j].timedOp());
     }
     live_pipe_ = timer_.cycles();
     if constexpr (ICache) {
       have_line_ = true;
-      last_line_ = desc_.icache.lineOf(block.instrs[i - 1].addr);
+      last_line_ = desc_.icache.lineOf(block.instrs()[i - 1].addr);
     }
   }
 }
@@ -451,16 +449,16 @@ void Iss::dispatchBlockT(core::ExecBlock& block) {
   ++stats_.cached_blocks;
   if constexpr (Timing) {
     current_block_ = BlockRecord{};
-    current_block_.addr = block.addr;
+    current_block_.addr = block.addr();
     in_block_ = true;
     ++stats_.blocks;
   }
-  const Instr* instrs = block.instrs.data();
-  const uint32_t* cum = block.cum_cycles.data();
-  const uint8_t* new_line = ICache ? block.new_line.data() : nullptr;
-  const uint32_t* line_set = ICache ? block.line_set.data() : nullptr;
-  const uint32_t* line_tag = ICache ? block.line_tag.data() : nullptr;
-  const size_t n = block.instrs.size();
+  const Instr* instrs = block.instrs().data();
+  const uint32_t* cum = block.cum_cycles().data();
+  const uint8_t* new_line = ICache ? block.new_line().data() : nullptr;
+  const uint32_t* line_set = ICache ? block.line_set().data() : nullptr;
+  const uint32_t* line_tag = ICache ? block.line_tag().data() : nullptr;
+  const size_t n = block.instrs().size();
   for (size_t i = 0; i < n; ++i) {
     const Instr& instr = instrs[i];
     if constexpr (Bail) {
@@ -495,15 +493,15 @@ int32_t Iss::resolveNext(core::ExecBlock& block) {
     return -1;
   }
   const std::vector<core::ExecBlock>& blocks = cache_->blocks();
-  if (block.target >= 0 &&
-      pc_ == blocks[static_cast<size_t>(block.target)].addr) {
+  if (block.target() >= 0 &&
+      pc_ == blocks[static_cast<size_t>(block.target())].addr()) {
     ++block.taken_count;
-    return block.target;
+    return block.target();
   }
-  if (block.fall_through >= 0 &&
-      pc_ == blocks[static_cast<size_t>(block.fall_through)].addr) {
+  if (block.fall_through() >= 0 &&
+      pc_ == blocks[static_cast<size_t>(block.fall_through())].addr()) {
     ++block.ft_count;
-    return block.fall_through;
+    return block.fall_through();
   }
   return -1;  // indirect target (or a transfer out of .text)
 }
@@ -519,13 +517,13 @@ int32_t Iss::afterBlock(core::ExecBlock& block) {
       // the stepping engine's view of it (warm issue schedule and line
       // tracking) before falling back.
       timer_.reset();
-      for (const Instr& instr : block.instrs) {
+      for (const Instr& instr : block.instrs()) {
         timer_.issue(instr.timedOp());
       }
       live_pipe_ = timer_.cycles();
       if (icacheOn()) {
         have_line_ = true;
-        last_line_ = desc_.icache.lineOf(block.instrs.back().addr);
+        last_line_ = desc_.icache.lineOf(block.instrs().back().addr);
       }
     }
   }
@@ -556,7 +554,7 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
     ++stats_.trace_blocks;
     if constexpr (Timing) {
       current_block_ = BlockRecord{};
-      current_block_.addr = block.addr;
+      current_block_.addr = block.addr();
       in_block_ = true;
       ++stats_.blocks;
     }
@@ -605,7 +603,7 @@ int32_t Iss::dispatchTraceT(core::Trace& trace, uint64_t time_limit,
       ++stats_.guard_bails;
       if (trace_sink_ != nullptr) {
         trace_sink_->instant(trace_lane_, "guard_bail", localTime(), "addr",
-                             block.addr);
+                             block.addr());
       }
       *epoch_done = true;
       return resolveNext(block);
@@ -659,13 +657,13 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
       if (localTime() >= time_limit) {
         return StopReason::kCycleLimit;  // resumable: stop_ stays running
       }
-      if (pollFaults() && block != nullptr && pc_ != block->addr) {
+      if (pollFaults() && block != nullptr && pc_ != block->addr()) {
         block = nullptr;  // fault redirected pc_: the chained edge is stale
         via_chain = false;
       }
       if (irq_ != nullptr) {
         maybeTakeIrq();  // may redirect pc_ to the vector (also a leader)
-        if (block != nullptr && pc_ != block->addr) {
+        if (block != nullptr && pc_ != block->addr()) {
           block = nullptr;  // redirected: the chained edge no longer holds
           via_chain = false;
         }
@@ -680,7 +678,7 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
       // hot: the stepping fallback stops exactly on the breakpoint.
       block = nullptr;
     }
-    if (block == nullptr || stats_.instructions + block->instrs.size() >
+    if (block == nullptr || stats_.instructions + block->instrs().size() >
                                 config_.max_instructions) {
       // Per-instruction fallback: mid-block landing addresses, blocks
       // with breakpoints and the final instructions before the
@@ -693,7 +691,7 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
       // bookkeeping: on a bail here the drain re-dispatches the whole
       // block from scratch. Interior instructions are tested inside
       // dispatchBlockT, which repairs the half-executed block instead.
-      if (touchesShared(block->instrs[0])) {
+      if (touchesShared(block->instrs()[0])) {
         bailed_shared_ = true;
         return StopReason::kCycleLimit;
       }
@@ -714,7 +712,7 @@ StopReason Iss::runChainedT(uint64_t time_limit, bool traces,
         if (trace_sink_ != nullptr && block->trace >= 0) {
           // Sequential path only: private slices run with traces off.
           trace_sink_->instant(trace_lane_, "trace_form", localTime(),
-                               "addr", block->addr);
+                               "addr", block->addr());
         }
         if (block->trace == core::kTraceDeclined) {
           // A refusal can be transient (breakpointed successor, not yet
@@ -885,7 +883,7 @@ StopReason Iss::runLoopLookup(uint64_t time_limit) {
       block = nullptr;
     }
     if (block == nullptr ||
-        stats_.instructions + block->instrs.size() >
+        stats_.instructions + block->instrs().size() >
             config_.max_instructions) {
       // Per-instruction fallback: mid-block landing addresses, blocks
       // with breakpoints and the final instructions before the
@@ -901,13 +899,13 @@ StopReason Iss::runLoopLookup(uint64_t time_limit) {
       // the stepping engine's view of it (warm issue schedule and line
       // tracking) before falling back.
       timer_.reset();
-      for (const Instr& instr : block->instrs) {
+      for (const Instr& instr : block->instrs()) {
         timer_.issue(instr.timedOp());
       }
       live_pipe_ = timer_.cycles();
       if (icacheOn()) {
         have_line_ = true;
-        last_line_ = desc_.icache.lineOf(block->instrs.back().addr);
+        last_line_ = desc_.icache.lineOf(block->instrs().back().addr);
       }
     }
   }
@@ -977,28 +975,6 @@ void restoreStats(serial::Reader& r, IssStats& s) {
   s.threaded_declined = r.u64();
 }
 
-/// Content fingerprint of the decoded program: a snapshot must never
-/// restore into a board running a *different* program, even one with
-/// the same instruction and leader counts — registers and memory from
-/// image A replayed over image B's code would diverge into garbage
-/// with no error.
-uint64_t programFingerprint(const core::BlockGraph& graph) {
-  serial::Writer w;
-  for (const Instr& in : graph.instrs()) {
-    w.u32(in.addr);
-    w.u8(static_cast<uint8_t>(in.opc));
-    w.u8(in.rd);
-    w.u8(in.ra);
-    w.u8(in.rb);
-    w.i32(in.imm);
-    w.u8(in.size);
-  }
-  for (const uint32_t leader : graph.leaders()) {
-    w.u32(leader);
-  }
-  return serial::fnv1a(w.data());
-}
-
 }  // namespace
 
 void Iss::saveState(serial::Writer& w) const {
@@ -1015,7 +991,9 @@ void Iss::saveState(serial::Writer& w) const {
   w.b(icacheOn());
   w.u32(config_.irq_entry_cycles);
   w.u64(config_.max_instructions);
-  w.u64(programFingerprint(graph_));
+  // The artifact caches the fingerprint (same bytes as the
+  // historical per-save computation, see program_artifact.cpp).
+  w.u64(artifact_->fingerprint());
   // Architectural core state.
   w.u32(pc_);
   w.u8(static_cast<uint8_t>(stop_));
@@ -1058,7 +1036,7 @@ void Iss::restoreState(serial::Reader& r) {
   CABT_CHECK(r.u32() == config_.irq_entry_cycles &&
                  r.u64() == config_.max_instructions,
              "snapshot limits do not match this core's config");
-  CABT_CHECK(r.u64() == programFingerprint(graph_),
+  CABT_CHECK(r.u64() == artifact_->fingerprint(),
              "snapshot program does not match this core's image");
   pc_ = r.u32();
   stop_ = static_cast<StopReason>(r.u8());
@@ -1155,9 +1133,9 @@ std::vector<HotBlock> Iss::hotBlocks(size_t n) const {
     return out;  // the block engine never ran
   }
   for (const core::ExecBlock* b : cache_->hottest(n)) {
-    out.push_back({b->addr, static_cast<uint32_t>(b->instrs.size()),
+    out.push_back({b->addr(), static_cast<uint32_t>(b->instrs().size()),
                    b->exec_count, b->chain_entries, b->trace_execs,
-                   symbols_.describe(b->addr)});
+                   artifact_->symbols().describe(b->addr())});
   }
   return out;
 }
@@ -1777,7 +1755,7 @@ void Iss::dispatchThreadedBlockT(core::ExecBlock& block,
   ++stats_.threaded_dispatches;
   if constexpr (Timing) {
     current_block_ = BlockRecord{};
-    current_block_.addr = block.addr;
+    current_block_.addr = block.addr();
     in_block_ = true;
     ++stats_.blocks;
   }
@@ -1813,7 +1791,7 @@ int32_t Iss::dispatchThreadedTraceT(core::Trace& trace,
     ++stats_.trace_blocks;
     if constexpr (Timing) {
       current_block_ = BlockRecord{};
-      current_block_.addr = block.addr;
+      current_block_.addr = block.addr();
       in_block_ = true;
       ++stats_.blocks;
     }
@@ -1849,7 +1827,7 @@ int32_t Iss::dispatchThreadedTraceT(core::Trace& trace,
       ++stats_.guard_bails;
       if (trace_sink_ != nullptr) {
         trace_sink_->instant(trace_lane_, "guard_bail", localTime(), "addr",
-                             block.addr);
+                             block.addr());
       }
       *epoch_done = true;
       return resolveNext(block);

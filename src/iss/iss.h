@@ -320,7 +320,9 @@ class Iss {
                       const std::string& prefix) const;
   /// The image's code-symbol index (always built; empty for symbol-less
   /// images). hotBlocks() and the profiler attribute through it.
-  [[nodiscard]] const elf::SymbolIndex& symbols() const { return symbols_; }
+  [[nodiscard]] const elf::SymbolIndex& symbols() const {
+    return artifact_->symbols();
+  }
 
   /// Debugger-style breakpoints: run()/step() stop with kDebugBreak
   /// *before* executing the instruction at `addr` (pc() == addr). The
@@ -570,9 +572,14 @@ class Iss {
   soc::SocBus* bus_;
   soc::IrqSource* irq_ = nullptr;
   SparseMemory mem_;
-  core::BlockGraph graph_;
+  /// The shared, immutable decode of this core's image (held alive for
+  /// the core's lifetime; every other core on the same image+config
+  /// shares the same object through the ProgramArtifactCache).
+  std::shared_ptr<const core::ProgramArtifact> artifact_;
+  /// Alias for artifact_->graph(): the hot paths read block structure
+  /// through it with zero indirection changes.
+  const core::BlockGraph& graph_;
   std::unique_ptr<core::BlockCache> cache_;
-  std::unordered_map<uint32_t, size_t> by_addr_;
   std::set<uint32_t> breakpoints_;
   /// Address whose breakpoint the next arrival skips (a resume must
   /// execute the instruction it stopped at; keyed by address so an
@@ -625,7 +632,6 @@ class Iss {
   uint64_t cov_last_time_ = 0;
   uint32_t cov_last_pc_ = 0;
   bool cov_have_last_ = false;
-  elf::SymbolIndex symbols_;
 
   IssStats stats_;
 };

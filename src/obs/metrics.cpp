@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace cabt::obs {
@@ -86,6 +87,39 @@ const Histogram* MetricsRegistry::histogram(std::string_view path) const {
   return it != metrics_.end() && it->second.kind == Kind::kHistogram
              ? &it->second.hist
              : nullptr;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other,
+                            std::string_view prefix) {
+  for (const auto& [path, src] : other.metrics_) {
+    Metric& dst = metrics_[std::string(prefix) + path];
+    switch (src.kind) {
+      case Kind::kCounter:
+        dst.kind = Kind::kCounter;
+        dst.counter = src.counter;
+        break;
+      case Kind::kGauge:
+        dst.kind = Kind::kGauge;
+        dst.gauge = src.gauge;
+        break;
+      case Kind::kHistogram: {
+        const bool fresh =
+            dst.kind != Kind::kHistogram || dst.hist.count == 0;
+        dst.kind = Kind::kHistogram;
+        Histogram& h = dst.hist;
+        if (src.hist.count != 0) {
+          h.min = fresh ? src.hist.min : std::min(h.min, src.hist.min);
+          h.max = fresh ? src.hist.max : std::max(h.max, src.hist.max);
+          h.count += src.hist.count;
+          h.sum += src.hist.sum;
+          for (int b = 0; b < Histogram::kBuckets; ++b) {
+            h.buckets[b] += src.hist.buckets[b];
+          }
+        }
+        break;
+      }
+    }
+  }
 }
 
 std::string MetricsRegistry::toJson() const {

@@ -60,6 +60,15 @@ class MetricsRegistry {
                                double fallback = 0.0) const;
   [[nodiscard]] const Histogram* histogram(std::string_view path) const;
 
+  /// Folds every metric of `other` into this registry under
+  /// `prefix + path`. Counters and gauges overwrite (pull-model snapshot
+  /// semantics: latest publish wins); histograms combine
+  /// count/sum/min/max and per-bucket tallies, so repeated merges
+  /// accumulate one fleet-wide distribution. The fleet driver
+  /// (src/fleet) uses this to fold per-board registries into one
+  /// namespaced snapshot ("fleet.board3.core0.iss...").
+  void merge(const MetricsRegistry& other, std::string_view prefix = "");
+
   /// JSON snapshot: {"metrics": {"<path>": {"type": ..., ...}, ...}}.
   /// Paths are emitted in sorted order, so the output is deterministic.
   [[nodiscard]] std::string toJson() const;

@@ -325,6 +325,14 @@ void ReferenceBoard::attachEdgeCoverage(size_t i, core::EdgeCoverage* cov) {
   cores_.at(i)->setEdgeCoverage(cov);
 }
 
+uint64_t ReferenceBoard::instructionsRetired() const {
+  uint64_t total = 0;
+  for (const auto& core : cores_) {
+    total += core->stats().instructions;
+  }
+  return total;
+}
+
 void ReferenceBoard::publishMetrics(obs::MetricsRegistry& reg,
                                     const std::string& prefix) const {
   for (size_t i = 0; i < cores_.size(); ++i) {

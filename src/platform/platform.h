@@ -351,6 +351,11 @@ class ReferenceBoard {
   /// Chunks whose checkpoint digest contradicted the expected trail.
   [[nodiscard]] size_t divergences() const { return divergences_; }
 
+  /// Instructions retired summed over every core — the board's
+  /// contribution to fleet-level aggregate-MIPS accounting (src/fleet,
+  /// bench/bench_fleet.cpp).
+  [[nodiscard]] uint64_t instructionsRetired() const;
+
   [[nodiscard]] size_t numCores() const { return cores_.size(); }
   [[nodiscard]] iss::Iss& core(size_t i) { return *cores_.at(i); }
   [[nodiscard]] const iss::Iss& core(size_t i) const { return *cores_.at(i); }

@@ -1,19 +1,10 @@
 #include "sim/kernel.h"
 
-#include <condition_variable>
-#include <exception>
-#include <mutex>
 #include <thread>
 
+#include "sim/host_pool.h"
+
 namespace cabt::sim {
-
-namespace {
-// 0 on any thread that never entered a pool worker loop (the dispatch
-// thread included); pool worker i runs with 1 + i.
-thread_local unsigned t_worker_id = 0;
-}  // namespace
-
-unsigned currentWorkerId() { return t_worker_id; }
 
 void ClockedProcess::activate(Kernel& kernel) {
   if (stopped_) {
@@ -36,126 +27,6 @@ void Event::notify(Cycle at) {
   }
   waiting_.clear();
 }
-
-/// Worker-thread pool with a round barrier. One round = one batch of
-/// process prefixes: runAll() publishes the batch, the workers *and* the
-/// calling thread pull tasks until the batch is empty, and runAll()
-/// returns only after every prefix finished (the barrier). The mutex
-/// hand-off establishes the happens-before edge that makes all prefix
-/// state visible to the sequential drain that follows.
-class Kernel::Pool {
- public:
-  explicit Pool(unsigned workers) {
-    threads_.reserve(workers);
-    for (unsigned i = 0; i < workers; ++i) {
-      threads_.emplace_back([this, i] {
-        t_worker_id = i + 1;  // 0 stays the dispatch thread's id
-        workerLoop();
-      });
-    }
-  }
-
-  ~Pool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stopping_ = true;
-    }
-    work_cv_.notify_all();
-    for (std::thread& t : threads_) {
-      t.join();
-    }
-  }
-
-  /// Runs every prefix in `batch` (quantum-bounded) and returns after
-  /// the last one completed. The caller participates, so the pool also
-  /// works with zero worker threads (single-core hosts degenerate to a
-  /// plain sequential prefix loop with no thread traffic at all). The
-  /// first exception a prefix throws (an invariant CABT_CHECK, e.g. a
-  /// bus access escaping the private-slice bail) is rethrown here.
-  void runAll(const std::vector<Process*>& batch, Cycle quantum) {
-    if (batch.empty()) {
-      return;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      batch_ = &batch;
-      quantum_ = quantum;
-      next_ = 0;
-      live_ = batch.size();
-      error_ = nullptr;
-    }
-    work_cv_.notify_all();
-    for (;;) {
-      Process* task = nullptr;
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (next_ < batch.size()) {
-          task = batch[next_++];
-        }
-      }
-      if (task == nullptr) {
-        break;
-      }
-      runOne(task, quantum);
-    }
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return live_ == 0; });
-    batch_ = nullptr;
-    if (error_ != nullptr) {
-      std::exception_ptr error = error_;
-      error_ = nullptr;
-      lock.unlock();
-      std::rethrow_exception(error);
-    }
-  }
-
- private:
-  void runOne(Process* task, Cycle quantum) {
-    std::exception_ptr error;
-    try {
-      task->parallelPrefix(quantum);
-    } catch (...) {
-      error = std::current_exception();
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (error != nullptr && error_ == nullptr) {
-      error_ = error;
-    }
-    if (--live_ == 0) {
-      done_cv_.notify_all();
-    }
-  }
-
-  void workerLoop() {
-    for (;;) {
-      Process* task = nullptr;
-      Cycle quantum = 0;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [this] {
-          return stopping_ || (batch_ != nullptr && next_ < batch_->size());
-        });
-        if (stopping_) {
-          return;
-        }
-        task = (*batch_)[next_++];
-        quantum = quantum_;
-      }
-      runOne(task, quantum);
-    }
-  }
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::vector<Process*>* batch_ = nullptr;
-  Cycle quantum_ = 0;
-  size_t next_ = 0;
-  size_t live_ = 0;
-  std::exception_ptr error_;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
-};
 
 Kernel::Kernel(Cycle quantum) : quantum_(quantum) {
   CABT_CHECK(quantum_ >= 1, "quantum must be >= 1");
@@ -261,9 +132,13 @@ void Kernel::runPrefixes(const std::vector<Process*>& ready) {
       const unsigned hw = std::thread::hardware_concurrency();
       workers = hw > 1 ? hw - 1 : 0;  // the caller is a prefix runner too
     }
-    pool_ = std::make_unique<Pool>(std::min(workers, 16u));
+    pool_ = std::make_unique<HostPool>(std::min(workers, 16u));
   }
-  pool_->runAll(ready, quantum_);
+  // One round = one barriered batch of quantum-bounded prefixes; the
+  // mutex hand-off inside the pool makes all prefix state visible to
+  // the sequential drain that follows.
+  pool_->runAll(ready.size(),
+                [&ready, this](size_t i) { ready[i]->parallelPrefix(quantum_); });
 }
 
 Cycle Kernel::runParallelRounds(Cycle limit) {

@@ -45,6 +45,7 @@
 
 #include "common/error.h"
 #include "common/serial.h"
+#include "sim/host_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -53,8 +54,8 @@ namespace cabt::sim {
 /// Identifies the prefix-runner thread the caller is on: 0 for the
 /// dispatching (sequential) thread, 1 + i for pool worker i. Worker-side
 /// observability code uses it to pick a trace lane
-/// (obs::workerLane(currentWorkerId())).
-[[nodiscard]] unsigned currentWorkerId();
+/// (obs::workerLane(currentWorkerId())). Declared in sim/host_pool.h —
+/// the pool implementation is shared with the fleet driver.
 
 /// Kernel time, in cycles of the hosting platform's clock.
 using Cycle = uint64_t;
@@ -169,7 +170,7 @@ class Kernel {
 
   /// `quantum` is the temporal-decoupling window: how far a process may
   /// run ahead of global time before it must sync().
-  explicit Kernel(Cycle quantum = 1024);  // out of line: Pool is incomplete
+  explicit Kernel(Cycle quantum = 1024);  // out of line: HostPool is incomplete
   ~Kernel();                              // joins the worker pool
 
   [[nodiscard]] Cycle quantum() const { return quantum_; }
@@ -273,7 +274,6 @@ class Kernel {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
-  class Pool;  // worker threads + round barrier (kernel.cpp)
 
   void push(Cycle at, Process* proc, std::function<void()> fn) {
     queue_.push_back(Ev{at, seq_++, proc, std::move(fn)});
@@ -296,7 +296,7 @@ class Kernel {
   uint64_t seq_ = 0;
   uint64_t dispatched_ = 0;
   ParallelConfig parallel_;
-  std::unique_ptr<Pool> pool_;
+  std::unique_ptr<HostPool> pool_;  // shared worker-pool impl (host_pool.h)
   uint64_t rounds_ = 0;
   uint64_t prefixes_ = 0;
   obs::TraceSink* trace_sink_ = nullptr;  ///< never serialized

@@ -7,6 +7,7 @@
 #include "common/bits.h"
 #include "common/strutil.h"
 #include "core/block_graph.h"
+#include "core/program_artifact.h"
 #include "trc/program.h"
 #include "xlat/internal.h"
 #include "xlat/regmap.h"
@@ -87,8 +88,14 @@ TranslationResult translate(const arch::ArchDescription& desc,
 
   // ---- analysis passes ----------------------------------------------------
   // The shared core::BlockGraph is the single source of block boundaries;
-  // the reference ISS executes from the very same structure.
-  const core::BlockGraph graph = core::BlockGraph::build(object);
+  // the reference ISS executes from the very same structure — literally:
+  // both sides acquire it through the ProgramArtifactCache, so a board
+  // fleet plus its translator pay one decode per image. (The skew drill
+  // below mutates only the local SourceBlock copies, never the shared
+  // graph.)
+  const std::shared_ptr<const core::ProgramArtifact> artifact =
+      core::ProgramArtifactCache::instance().acquire(desc, object);
+  const core::BlockGraph& graph = artifact->graph();
   std::vector<SourceBlock> blocks = buildBlocks(graph);
   const AddressAnalysis analysis = analyzeAddresses(desc, graph);
   if (options.instruction_oriented) {

@@ -13,6 +13,7 @@
 #include "arch/timing.h"
 #include "common/strutil.h"
 #include "core/block_cache.h"
+#include "core/program_artifact.h"
 #include "core/block_graph.h"
 #include "iss/iss.h"
 #include "trc/assembler.h"
@@ -25,6 +26,14 @@ namespace {
 
 arch::ArchDescription defaultArch() {
   return arch::ArchDescription::defaultTc10gp();
+}
+
+/// Builds a private (uncached) artifact — unit tests exercise the
+/// overlay mechanics, fleet_test covers the shared-cache path.
+std::shared_ptr<const ProgramArtifact> makeArtifact(
+    const arch::ArchDescription& desc, const elf::Object& obj) {
+  return std::make_shared<const ProgramArtifact>(
+      desc, obj, std::vector<uint32_t>{});
 }
 
 /// The pre-refactor block construction (the loop formerly in
@@ -187,7 +196,7 @@ loop:   add d1, d1, d0
 )");
   const arch::ArchDescription desc = defaultArch();
   const BlockGraph graph = BlockGraph::build(obj);
-  BlockCache cache(desc, graph);
+  BlockCache cache(makeArtifact(desc, obj));
   // Blocks: _start | loop | halt. Seed the loop's observed outcomes so
   // the backedge dominates 4:1.
   const int32_t loop_idx = graph.indexAt(graph.blocks()[1].addr);
@@ -203,21 +212,21 @@ loop:   add d1, d1, d0
   // its own entry address at every internal boundary.
   ASSERT_EQ(tr.segs.size(), 4u);
   const ExecBlock& loop = cache.blocks()[1];
-  EXPECT_EQ(tr.addr, loop.addr);
-  EXPECT_EQ(tr.total_instrs, 4 * loop.instrs.size());
+  EXPECT_EQ(tr.addr, loop.addr());
+  EXPECT_EQ(tr.total_instrs, 4 * loop.instrs().size());
   for (size_t s = 0; s < tr.segs.size(); ++s) {
     const TraceSegment& seg = tr.segs[s];
     EXPECT_EQ(seg.block, 1);
-    EXPECT_EQ(seg.entry_addr, loop.addr);
-    ASSERT_EQ(seg.count, loop.instrs.size());
+    EXPECT_EQ(seg.entry_addr, loop.addr());
+    ASSERT_EQ(seg.count, loop.instrs().size());
     // Flattened arrays are the block's predecoded data, per segment.
     for (uint32_t i = 0; i < seg.count; ++i) {
-      EXPECT_EQ(tr.instrs[seg.first + i].addr, loop.instrs[i].addr);
-      EXPECT_EQ(tr.cum_cycles[seg.first + i], loop.cum_cycles[i]);
-      if (!loop.new_line.empty()) {
-        EXPECT_EQ(tr.new_line[seg.first + i], loop.new_line[i]);
-        EXPECT_EQ(tr.line_set[seg.first + i], loop.line_set[i]);
-        EXPECT_EQ(tr.line_tag[seg.first + i], loop.line_tag[i]);
+      EXPECT_EQ(tr.instrs[seg.first + i].addr, loop.instrs()[i].addr);
+      EXPECT_EQ(tr.cum_cycles[seg.first + i], loop.cum_cycles()[i]);
+      if (!loop.new_line().empty()) {
+        EXPECT_EQ(tr.new_line[seg.first + i], loop.new_line()[i]);
+        EXPECT_EQ(tr.line_set[seg.first + i], loop.line_set()[i]);
+        EXPECT_EQ(tr.line_tag[seg.first + i], loop.line_tag()[i]);
       }
     }
   }
@@ -234,7 +243,7 @@ loop:   add d1, d1, d0
   const BlockGraph graph = BlockGraph::build(obj);
   {
     // Balanced outcomes: no dominant successor, nothing to splice.
-    BlockCache cache(defaultArch(), graph);
+    BlockCache cache(makeArtifact(defaultArch(), obj));
     cache.blocks()[1].taken_count = 50;
     cache.blocks()[1].ft_count = 50;
     EXPECT_EQ(cache.formTrace(1, TraceOptions{}), kTraceDeclined);
@@ -243,7 +252,7 @@ loop:   add d1, d1, d0
     // A breakpointed successor terminates the chain: from the halt
     // block (no successor at all) the trace is a single block and is
     // declined outright.
-    BlockCache cache(defaultArch(), graph);
+    BlockCache cache(makeArtifact(defaultArch(), obj));
     EXPECT_EQ(cache.formTrace(2, TraceOptions{}), kTraceDeclined);
     // The dominant successor exists but carries a breakpoint flag.
     cache.blocks()[1].taken_count = 100;
@@ -258,15 +267,15 @@ TEST(BlockCache, LineGroupsMatchCacheAnalysisBlocks) {
     SCOPED_TRACE(w.name);
     const elf::Object obj = workloads::assemble(w);
     const BlockGraph graph = BlockGraph::build(obj);
-    const BlockCache cache(desc, graph);
+    const BlockCache cache(makeArtifact(desc, obj));
     std::vector<xlat::SourceBlock> sb = xlat::buildBlocks(graph);
     xlat::computeCacheAnalysisBlocks(desc.icache, sb);
     ASSERT_EQ(cache.blocks().size(), sb.size());
     for (size_t i = 0; i < sb.size(); ++i) {
       const ExecBlock& eb = cache.blocks()[i];
       std::vector<size_t> starts;
-      for (size_t k = 0; k < eb.new_line.size(); ++k) {
-        if (eb.new_line[k] != 0) {
+      for (size_t k = 0; k < eb.new_line().size(); ++k) {
+        if (eb.new_line()[k] != 0) {
           starts.push_back(k);
         }
       }
@@ -281,13 +290,13 @@ TEST(BlockCache, CumulativeCyclesEndAtStaticSchedule) {
     const elf::Object obj = workloads::assemble(w);
     BlockGraph graph = BlockGraph::build(obj);
     graph.computeStaticCycles(desc);
-    const BlockCache cache(desc, graph);
+    const BlockCache cache(makeArtifact(desc, obj));
     for (size_t i = 0; i < cache.blocks().size(); ++i) {
       const ExecBlock& eb = cache.blocks()[i];
       const Block& b = graph.blocks()[i];
-      ASSERT_FALSE(eb.cum_cycles.empty());
+      ASSERT_FALSE(eb.cum_cycles().empty());
       // static_cycles = schedule + static branch extra >= schedule.
-      const uint32_t schedule = eb.cum_cycles.back();
+      const uint32_t schedule = eb.cum_cycles().back();
       EXPECT_LE(schedule, b.static_cycles);
       const trc::Instr& last = graph.last(b);
       const uint32_t extra =
@@ -297,8 +306,8 @@ TEST(BlockCache, CumulativeCyclesEndAtStaticSchedule) {
               : 0;
       EXPECT_EQ(schedule + extra, b.static_cycles);
       // The cumulative schedule is monotone.
-      for (size_t k = 1; k < eb.cum_cycles.size(); ++k) {
-        EXPECT_LE(eb.cum_cycles[k - 1], eb.cum_cycles[k]);
+      for (size_t k = 1; k < eb.cum_cycles().size(); ++k) {
+        EXPECT_LE(eb.cum_cycles()[k - 1], eb.cum_cycles()[k]);
       }
     }
   }
